@@ -1,0 +1,121 @@
+// Reproduces Fig. 5: "When the primary controller (vPLC1) for an I/O
+// device fails, InstaPLC detects this, and dynamically switches to a
+// backup controller (vPLC2). As a result, the I/O device remains
+// controlled."
+//
+// (a) packets per 50 ms sent by vPLC1 and vPLC2; vPLC1 stops at t=1.5 s.
+// (b) packets per 50 ms arriving at the I/O device: constant through the
+//     switchover.
+#include <iostream>
+
+#include "core/report.hpp"
+#include "instaplc/instaplc.hpp"
+#include "profinet/controller.hpp"
+#include "profinet/io_device.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace steelnet;
+  using namespace steelnet::sim::literals;
+
+  sim::Simulator simulator;
+  net::Network network{simulator};
+
+  auto& sw = network.add_node<sdn::SdnSwitchNode>("instaplc-switch");
+  auto& dev_host = network.add_node<net::HostNode>("io-device",
+                                                   net::MacAddress{0xD0});
+  auto& v1_host = network.add_node<net::HostNode>("vplc1",
+                                                  net::MacAddress{0x01});
+  auto& v2_host = network.add_node<net::HostNode>("vplc2",
+                                                  net::MacAddress{0x02});
+  network.connect(dev_host.id(), 0, sw.id(), 0);
+  network.connect(v1_host.id(), 0, sw.id(), 1);
+  network.connect(v2_host.id(), 0, sw.id(), 2);
+
+  profinet::IoDevice device(dev_host);
+  instaplc::InstaPlcApp app(sw, {.device_port = 0, .switchover_cycles = 3});
+
+  profinet::ControllerConfig c1;
+  c1.ar_id = 1;
+  c1.device_mac = dev_host.mac();
+  c1.cycle = 2_ms;
+  profinet::CyclicController vplc1(v1_host, c1);
+  profinet::ControllerConfig c2 = c1;
+  c2.ar_id = 2;
+  profinet::CyclicController vplc2(v2_host, c2);
+
+  sim::TimeSeriesBinner from_v1(50_ms), from_v2(50_ms), to_io(50_ms);
+  app.set_observer([&](instaplc::InstaPlcEvent e, sim::SimTime at) {
+    switch (e) {
+      case instaplc::InstaPlcEvent::kPrimaryCyclic:
+        from_v1.record(at);
+        break;
+      case instaplc::InstaPlcEvent::kSecondaryCyclic:
+        from_v2.record(at);
+        break;
+      case instaplc::InstaPlcEvent::kToDevice:
+        to_io.record(at);
+        break;
+      default:
+        break;
+    }
+  });
+
+  // Timeline: vPLC1 connects at t=0, vPLC2 at t=100 ms, vPLC1 crashes at
+  // t=1.5 s (as in Fig. 5), run to 3 s.
+  vplc1.connect();
+  simulator.schedule_at(100_ms, [&] { vplc2.connect(); });
+  simulator.schedule_at(1500_ms, [&] { vplc1.stop(); });
+  simulator.run_until(3_s);
+
+  std::cout << "=== Fig. 5a: packets per 50 ms from the vPLCs ===\n\n";
+  std::cout << core::ascii_timeseries(from_v1.bins(), "from vPLC1 (primary)")
+            << '\n';
+  std::cout << core::ascii_timeseries(from_v2.bins(),
+                                      "from vPLC2 (secondary)")
+            << '\n';
+
+  std::cout << "=== Fig. 5b: packets per 50 ms arriving at the I/O device "
+               "===\n\n";
+  std::cout << core::ascii_timeseries(to_io.bins(), "to I/O") << '\n';
+
+  // The numbers behind the picture.
+  core::TextTable table({"metric", "value"});
+  table.add_row({"vPLC1 stop injected at", "1.500 s"});
+  table.add_row({"switchover at",
+                 app.stats().switchover_at
+                     ? app.stats().switchover_at->to_string()
+                     : "(never)"});
+  if (app.stats().switchover_at) {
+    table.add_row({"detection + switchover latency",
+                   (*app.stats().switchover_at - 1500_ms).to_string()});
+  }
+  table.add_row({"device watchdog trips",
+                 std::to_string(device.counters().watchdog_trips)});
+  table.add_row({"device state at end",
+                 profinet::to_string(device.state())});
+  table.add_row({"cyclic frames delivered to I/O",
+                 std::to_string(device.counters().cyclic_rx)});
+
+  // Gap analysis on the to-I/O series around the failure.
+  double min_bin = 1e18;
+  for (const auto& b : to_io.bins()) {
+    if (b.start >= 200_ms && b.start < 2900_ms) {
+      min_bin = std::min(min_bin, b.value);
+    }
+  }
+  table.add_row({"min packets/50ms to I/O (steady window)",
+                 core::TextTable::num(min_bin, 0)});
+  table.print(std::cout);
+
+  std::cout << "\npaper's shape checks:\n"
+            << "  [" << (app.switched_over() ? "ok" : "MISMATCH")
+            << "] data-plane switchover triggered after primary silence\n"
+            << "  [" << (min_bin >= 15 ? "ok" : "MISMATCH")
+            << "] I/O device remained controlled through the switchover "
+               "(~25 pkts/50ms at 2 ms cycle)\n"
+            << "  [" << (device.counters().watchdog_trips == 0 ? "ok"
+                                                               : "MISMATCH")
+            << "] device watchdog never expired\n";
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Google-benchmark microbenchmarks for the hot paths of every substrate.
+#include <benchmark/benchmark.h>
+
+#include "ebpf/programs.hpp"
+#include "ebpf/verifier.hpp"
+#include "ebpf/vm.hpp"
+#include "net/host_node.hpp"
+#include "net/switch_node.hpp"
+#include "profinet/wire.hpp"
+#include "sdn/pipeline.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "textmine/terms.hpp"
+
+namespace {
+
+using namespace steelnet;
+using namespace steelnet::sim::literals;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng{1};
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule(sim::SimTime{rng.uniform_int(0, 1'000'000)}, [] {});
+    }
+    sim::SimTime t;
+    sim::EventQueue::Callback cb;
+    while (q.pop_next(t, cb)) benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorPeriodicTasks(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t fired = 0;
+    std::vector<std::unique_ptr<sim::PeriodicTask>> tasks;
+    for (int i = 0; i < 16; ++i) {
+      tasks.push_back(std::make_unique<sim::PeriodicTask>(
+          simulator, 0_ns, 1_ms, [&fired] { ++fired; }));
+    }
+    simulator.run_until(1_s);
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_SimulatorPeriodicTasks);
+
+void BM_RngNormal(benchmark::State& state) {
+  sim::Rng rng{7};
+  for (auto _ : state) benchmark::DoNotOptimize(rng.normal());
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_EbpfVerify(benchmark::State& state) {
+  const auto p = ebpf::make_reflector(ebpf::ReflectorVariant::kTsDRb);
+  for (auto _ : state) benchmark::DoNotOptimize(ebpf::verify(p));
+}
+BENCHMARK(BM_EbpfVerify);
+
+void BM_EbpfVmRun(benchmark::State& state) {
+  const auto variant =
+      static_cast<ebpf::ReflectorVariant>(state.range(0));
+  auto p = ebpf::make_reflector(variant);
+  ebpf::verify_or_throw(p);
+  ebpf::Vm vm(std::move(p), ebpf::CostParams{}, 1);
+  net::Frame f;
+  f.payload.assign(64, 0);
+  sim::SimTime now = sim::SimTime::zero();
+  for (auto _ : state) {
+    now += 1_us;
+    benchmark::DoNotOptimize(vm.run(f, now));
+    vm.ringbuf().drain();
+  }
+}
+BENCHMARK(BM_EbpfVmRun)
+    ->Arg(int(ebpf::ReflectorVariant::kBase))
+    ->Arg(int(ebpf::ReflectorVariant::kTsRb));
+
+void BM_PipelineMatch(benchmark::State& state) {
+  sdn::Pipeline pipeline;
+  sdn::Table table("t", {{sdn::FieldKind::kInPort, 0},
+                         {sdn::FieldKind::kEthSrc, 0},
+                         {sdn::FieldKind::kPayloadU8, 0}});
+  for (std::uint64_t i = 0; i < std::uint64_t(state.range(0)); ++i) {
+    sdn::TableEntry e;
+    e.values = {i % 8, 0x100 + i, 0};
+    e.masks = {~0ULL, ~0ULL, 0};
+    e.actions = {sdn::ActionPrimitive::set_egress(net::PortId(i % 4))};
+    table.add_entry(std::move(e));
+  }
+  pipeline.add_table(std::move(table));
+  net::Frame f;
+  f.src = net::MacAddress{0x100 + std::uint64_t(state.range(0)) - 1};
+  f.payload.assign(16, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.process(f, 7 % 8));
+  }
+}
+BENCHMARK(BM_PipelineMatch)->Arg(4)->Arg(64);
+
+void BM_ProfinetCodec(benchmark::State& state) {
+  profinet::CyclicData pdu;
+  pdu.ar_id = 1;
+  pdu.cycle_counter = 77;
+  pdu.data.assign(std::size_t(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    const auto bytes = profinet::encode(profinet::Pdu{pdu});
+    benchmark::DoNotOptimize(profinet::decode(bytes));
+  }
+}
+BENCHMARK(BM_ProfinetCodec)->Arg(20)->Arg(250);
+
+void BM_AhoCorasickScan(benchmark::State& state) {
+  textmine::AhoCorasick ac;
+  const auto groups = textmine::fig1_term_groups();
+  std::uint32_t id = 0;
+  for (const auto& g : groups) {
+    for (const auto& p : g.patterns) ac.add_pattern(p, id);
+    ++id;
+  }
+  ac.build();
+  std::string text;
+  for (int i = 0; i < 500; ++i) {
+    text += "the data center network moves tcp traffic across the "
+            "industrial network with profinet devices ";
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(ac.find_words(text));
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(text.size()));
+}
+BENCHMARK(BM_AhoCorasickScan);
+
+void BM_SwitchForwarding(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator simulator;
+    net::Network network{simulator};
+    net::SwitchConfig cfg;
+    cfg.mac_learning = false;
+    auto& sw = network.add_node<net::SwitchNode>("sw", cfg);
+    auto& a = network.add_node<net::HostNode>("a", net::MacAddress{1});
+    auto& b = network.add_node<net::HostNode>("b", net::MacAddress{2});
+    network.connect(a.id(), 0, sw.id(), 0);
+    network.connect(b.id(), 0, sw.id(), 1);
+    sw.add_fdb_entry(net::MacAddress{2}, 1);
+    int got = 0;
+    b.set_receiver([&](net::Frame, sim::SimTime) { ++got; });
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      net::Frame f;
+      f.dst = net::MacAddress{2};
+      f.payload.resize(46);
+      a.send(std::move(f));
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 1000);
+}
+BENCHMARK(BM_SwitchForwarding);
+
+}  // namespace

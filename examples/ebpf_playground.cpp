@@ -1,0 +1,81 @@
+// Write, verify and measure your own XDP program with Traffic Reflection.
+//
+// This example assembles a small packet-filtering reflector (drop frames
+// whose first payload word is odd, reflect the rest), shows the verifier
+// rejecting an unsafe sibling, and runs the accepted program under the
+// Fig. 3 measurement harness.
+#include <iostream>
+
+#include "core/report.hpp"
+#include "ebpf/assembler.hpp"
+#include "ebpf/verifier.hpp"
+#include "ebpf/xdp.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "tap/tap_node.hpp"
+
+int main() {
+  using namespace steelnet;
+  using namespace steelnet::sim::literals;
+
+  // --- 1. write a program with the fluent assembler -------------------
+  ebpf::Assembler a("parity-reflector");
+  a.ld_pkt_dw(2, 0);            // r2 = first payload word
+  a.and_imm(2, 1);              // r2 &= 1
+  a.jeq_imm(2, 1, "drop");      // odd -> drop
+  a.ret(ebpf::XdpVerdict::kTx); // even -> reflect
+  a.label("drop");
+  a.ret(ebpf::XdpVerdict::kDrop);
+  ebpf::Program good = a.finish();
+
+  const auto verdict = ebpf::verify(good);
+  std::cout << "verifier on parity-reflector: "
+            << (verdict.ok ? "accepted" : verdict.error) << "\n";
+
+  // --- 2. the verifier rejects what the kernel would ------------------
+  ebpf::Assembler bad("uninit-read");
+  bad.mov_reg(0, 5);  // r5 was never written
+  bad.exit();
+  const auto rejected = ebpf::verify(bad.finish());
+  std::cout << "verifier on uninit-read:      " << rejected.error << "\n\n";
+
+  // --- 3. measure it with a TAP (Fig. 3 methodology) ------------------
+  sim::Simulator simulator;
+  net::Network network{simulator};
+  auto& sender = network.add_node<net::HostNode>("sender",
+                                                 net::MacAddress{0x10});
+  auto& tap = network.add_node<tap::TapNode>("tap");
+  auto& dut = network.add_node<net::HostNode>("dut", net::MacAddress{0x20});
+  network.connect(sender.id(), 0, tap.id(), tap::TapNode::kPortA);
+  network.connect(tap.id(), tap::TapNode::kPortB, dut.id(), 0);
+
+  ebpf::XdpHook hook(good, ebpf::CostParams{}, /*seed=*/3);
+  dut.set_nic_processor(&hook);
+
+  std::uint64_t reflected = 0;
+  sender.set_receiver([&](net::Frame, sim::SimTime) { ++reflected; });
+
+  std::uint64_t seq = 0;
+  sim::PeriodicTask sending(simulator, 0_ns, 100_us, [&] {
+    net::Frame f;
+    f.dst = dut.mac();
+    f.flow_id = 1;
+    f.seq = seq;
+    f.payload.assign(32, 0);
+    f.write_u64(0, seq++);  // alternates even/odd
+    sender.send(std::move(f));
+  });
+  simulator.run_until(100_ms);
+
+  core::TextTable table({"counter", "value"});
+  table.add_row({"frames sent", std::to_string(seq)});
+  table.add_row({"XDP_TX (reflected)", std::to_string(hook.stats().tx)});
+  table.add_row({"XDP_DROP (odd words)", std::to_string(hook.stats().drop)});
+  table.add_row({"echoes back at sender", std::to_string(reflected)});
+  table.add_row({"tap frames observed", std::to_string(tap.frames_seen())});
+  table.print(std::cout);
+
+  std::cout << "\nevery timestamp above came from one clock -- the tap's "
+               "-- which is the whole point of Traffic Reflection (§3).\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// InstaPLC failover, end to end with physics: two vPLCs, one tank-level
+// I/O device behind an InstaPLC-enabled programmable switch. The primary
+// crashes mid-run; the in-network switchover keeps the valve controlled
+// and the tank never runs dry.
+#include <iostream>
+
+#include "core/report.hpp"
+#include "instaplc/instaplc.hpp"
+#include "process/process.hpp"
+#include "profinet/controller.hpp"
+#include "profinet/io_device.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace steelnet;
+  using namespace steelnet::sim::literals;
+
+  sim::Simulator simulator;
+  net::Network network{simulator};
+  auto& sw = network.add_node<sdn::SdnSwitchNode>("instaplc-switch");
+  auto& dev_host = network.add_node<net::HostNode>("tank-io",
+                                                   net::MacAddress{0xD1});
+  auto& v1_host = network.add_node<net::HostNode>("vplc-1",
+                                                  net::MacAddress{0x11});
+  auto& v2_host = network.add_node<net::HostNode>("vplc-2",
+                                                  net::MacAddress{0x22});
+  network.connect(dev_host.id(), 0, sw.id(), 0);
+  network.connect(v1_host.id(), 0, sw.id(), 1);
+  network.connect(v2_host.id(), 0, sw.id(), 2);
+
+  profinet::IoDevice device(dev_host);
+  instaplc::InstaPlcApp app(sw, {.device_port = 0, .switchover_cycles = 3});
+
+  // Both vPLCs run the same bang-bang level control: valve open when the
+  // level (centilitres, input bytes 0..3) is below 60 l.
+  auto make_outputs = [](const std::vector<std::uint8_t>& inputs) {
+    std::uint32_t centi = 0;
+    for (int i = 3; i >= 0; --i) {
+      centi = (centi << 8) |
+              (std::size_t(i) < inputs.size() ? inputs[std::size_t(i)] : 0);
+    }
+    const double level_l = centi / 100.0;
+    std::vector<std::uint8_t> out(8, 0);
+    out[0] = level_l < 60.0 ? 150 : 0;  // 1.5 l/s inflow when low
+    return out;
+  };
+  auto wire_controller = [&](profinet::CyclicController& c) {
+    auto* latest = new std::vector<std::uint8_t>();  // owned by lambdas
+    c.set_input_handler(
+        [latest](const std::vector<std::uint8_t>& in) { *latest = in; });
+    c.set_output_provider([latest, make_outputs](std::size_t) {
+      return make_outputs(*latest);
+    });
+  };
+
+  profinet::ControllerConfig c1;
+  c1.ar_id = 1;
+  c1.device_mac = dev_host.mac();
+  profinet::CyclicController vplc1(v1_host, c1);
+  wire_controller(vplc1);
+  profinet::ControllerConfig c2 = c1;
+  c2.ar_id = 2;
+  profinet::CyclicController vplc2(v2_host, c2);
+  wire_controller(vplc2);
+
+  process::TankLevel tank({.capacity_l = 100, .demand_lps = 1.0,
+                           .initial_l = 55});
+  auto stepper = process::bind_process(device, tank, simulator);
+
+  // Timeline.
+  vplc1.connect();
+  simulator.schedule_at(200_ms, [&] { vplc2.connect(); });
+  simulator.schedule_at(10_s, [&] {
+    std::cout << "t=10s  vPLC-1 crashes (level "
+              << core::TextTable::num(tank.level_l(), 1) << " l)\n";
+    vplc1.stop();
+  });
+
+  sim::TimeSeriesBinner level(1_s);
+  sim::PeriodicTask sampler(simulator, 0_ns, 1_s, [&] {
+    level.record(simulator.now(), tank.level_l());
+  });
+
+  simulator.run_until(30_s);
+
+  std::cout << "t=30s  done. level "
+            << core::TextTable::num(tank.level_l(), 1) << " l\n\n";
+  std::cout << core::ascii_timeseries(level.bins(), "tank level (l), 1 s bins")
+            << '\n';
+
+  core::TextTable table({"metric", "value"});
+  table.add_row({"switchover",
+                 app.switched_over()
+                     ? app.stats().switchover_at->to_string()
+                     : "(none)"});
+  table.add_row({"device watchdog trips",
+                 std::to_string(device.counters().watchdog_trips)});
+  table.add_row({"tank dry events", std::to_string(tank.dry_events())});
+  table.add_row({"tank overflow events",
+                 std::to_string(tank.overflow_events())});
+  table.add_row({"vPLC-2 now controls, cyclic rx",
+                 std::to_string(vplc2.counters().cyclic_rx)});
+  table.print(std::cout);
+
+  std::cout << "\nwithout InstaPLC this run loses the valve for as long as "
+               "recovery takes; with it the device never noticed (§4, "
+               "Fig. 5).\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// steelnet quickstart: a virtual PLC controls a conveyor belt over a
+// simulated industrial network.
+//
+// What happens:
+//   1. build a tiny network: vPLC host -- switch -- I/O device host
+//   2. write a 2-instruction IEC 61131-3 IL program (motor = always on)
+//   3. attach a conveyor to the I/O device and start everything
+//   4. run one simulated second; watch the belt produce items
+//   5. kill the vPLC; the PROFINET-style watchdog halts the belt safely
+#include <iostream>
+
+#include "net/switch_node.hpp"
+#include "plc/plc.hpp"
+#include "process/process.hpp"
+#include "profinet/io_device.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace steelnet;
+  using namespace steelnet::sim::literals;
+
+  // 1. The network.
+  sim::Simulator simulator;
+  net::Network network{simulator};
+  auto& sw = network.add_node<net::SwitchNode>("cell-switch");
+  auto& plc_host = network.add_node<net::HostNode>("vplc",
+                                                   net::MacAddress{0xA1});
+  auto& dev_host = network.add_node<net::HostNode>("io-device",
+                                                   net::MacAddress{0xB1});
+  network.connect(plc_host.id(), 0, sw.id(), 0);
+  network.connect(dev_host.id(), 0, sw.id(), 1);
+
+  // 2. The control program: Q0 (motor contactor) = NOT M0, M0 stays 0.
+  plc::IlProgram program("run-belt", {
+      {plc::IlOp::kLdn, plc::Area::kMarker, 0},
+      {plc::IlOp::kSt, plc::Area::kOutput, 0},
+  });
+
+  // The cyclic protocol endpoints (2 ms cycle, watchdog after 3 silent
+  // cycles -- the PROFINET defaults used throughout the paper).
+  profinet::ControllerConfig cfg;
+  cfg.device_mac = dev_host.mac();
+  cfg.cycle = 2_ms;
+  profinet::CyclicController controller(plc_host, cfg);
+  profinet::IoDevice device(dev_host);
+  plc::Plc vplc(controller, std::move(program));
+  // Speed setpoint: output bytes 1..2 = 1000 mm/s (bits 8..23).
+  for (int b = 0; b < 16; ++b) {
+    vplc.image().outputs[std::size_t(8 + b)] = (1000 >> b) & 1;
+  }
+
+  // 3. The plant.
+  process::Conveyor belt({.length_m = 0.5, .max_speed_mps = 2.0});
+  auto stepper = process::bind_process(device, belt, simulator);
+
+  // 4. Run.
+  vplc.start();
+  simulator.run_until(1_s);
+  std::cout << "after 1 s: belt motor " << (belt.motor_on() ? "ON" : "off")
+            << ", items completed: " << belt.items_completed()
+            << ", PLC scans: " << vplc.scans() << "\n";
+
+  // 5. Fail the vPLC; safety halts the belt within 3 cycles (6 ms).
+  vplc.stop();
+  simulator.run_until(1_s + 50_ms);
+  std::cout << "50 ms after vPLC crash: belt motor "
+            << (belt.motor_on() ? "ON (!!)" : "off (safe state)")
+            << ", device state: " << profinet::to_string(device.state())
+            << ", watchdog trips: " << device.counters().watchdog_trips
+            << "\n";
+
+  const auto items = belt.items_completed();
+  simulator.run_until(3_s);
+  std::cout << "2 s later: items still " << belt.items_completed()
+            << (belt.items_completed() == items ? " (production halted)"
+                                                : " (?!)")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace steelnet::core {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << "| " << cells[i]
+         << std::string(widths[i] - cells[i].size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  line(headers_);
+  os << '|';
+  for (std::size_t w : widths) os << std::string(w + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string ascii_cdf(const sim::SampleSet& samples,
+                      const std::string& x_label, std::size_t width,
+                      std::size_t height) {
+  std::ostringstream os;
+  if (samples.empty()) return "(no samples)\n";
+  const double lo = samples.min();
+  const double hi = samples.max();
+  const double span = hi > lo ? hi - lo : 1.0;
+
+  // grid[y][x], y = 0 is the top (P = 1).
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (const auto& pt : samples.cdf(width * 2)) {
+    auto x = static_cast<std::size_t>((pt.value - lo) / span *
+                                      double(width - 1));
+    auto y = static_cast<std::size_t>((1.0 - pt.cum_prob) *
+                                      double(height - 1));
+    x = std::min(x, width - 1);
+    y = std::min(y, height - 1);
+    grid[y][x] = '*';
+  }
+  os << "P(X<=x)\n";
+  for (std::size_t y = 0; y < height; ++y) {
+    const double p = 1.0 - double(y) / double(height - 1);
+    char lbl[16];
+    std::snprintf(lbl, sizeof lbl, "%4.2f |", p);
+    os << lbl << grid[y] << '\n';
+  }
+  os << "      " << std::string(width, '-') << '\n';
+  char foot[160];
+  std::snprintf(foot, sizeof foot, "      %.3g%*s%.3g  (%s)\n", lo,
+                int(width) - 6, "", hi, x_label.c_str());
+  os << foot;
+  return os.str();
+}
+
+std::string quantile_table(const std::vector<QuantileSeries>& series,
+                           const std::string& unit) {
+  TextTable table({"series", "n", "min (" + unit + ")", "p50 (" + unit + ")",
+                   "p90 (" + unit + ")", "p99 (" + unit + ")",
+                   "p99.9 (" + unit + ")", "max (" + unit + ")"});
+  for (const auto& s : series) {
+    if (s.samples == nullptr || s.samples->empty()) {
+      table.add_row({s.label, "0"});
+      continue;
+    }
+    table.add_row({s.label, std::to_string(s.samples->count()),
+                   TextTable::num(s.samples->min()),
+                   TextTable::num(s.samples->percentile(50)),
+                   TextTable::num(s.samples->percentile(90)),
+                   TextTable::num(s.samples->percentile(99)),
+                   TextTable::num(s.samples->percentile(99.9)),
+                   TextTable::num(s.samples->max())});
+  }
+  return table.to_string();
+}
+
+std::string ascii_timeseries(
+    const std::vector<sim::TimeSeriesBinner::Bin>& bins,
+    const std::string& label, std::size_t height) {
+  std::ostringstream os;
+  if (bins.empty()) return "(no data)\n";
+  double peak = 0;
+  for (const auto& b : bins) peak = std::max(peak, b.value);
+  if (peak <= 0) peak = 1;
+  os << label << " (peak " << TextTable::num(peak, 1) << ")\n";
+  for (std::size_t y = 0; y < height; ++y) {
+    const double threshold = peak * double(height - y) / double(height);
+    std::string row;
+    row.reserve(bins.size());
+    for (const auto& b : bins) {
+      row += b.value + 1e-12 >= threshold ? '#' : ' ';
+    }
+    os << row << '\n';
+  }
+  os << std::string(bins.size(), '-') << '\n';
+  os << "0" << std::string(bins.size() > 10 ? bins.size() - 10 : 1, ' ')
+     << TextTable::num(bins.back().start.seconds() +
+                           (bins.size() > 1
+                                ? (bins[1].start - bins[0].start).seconds()
+                                : 0.0),
+                       2)
+     << "s\n";
+  return os.str();
+}
+
+}  // namespace steelnet::core

@@ -1,0 +1,54 @@
+// steelnet::core -- fixed-width tables and ASCII plots for benches.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace steelnet::core {
+
+/// A simple console table: set headers, add rows, print. Column widths
+/// auto-size to content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Numeric formatting helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders an empirical CDF as an ASCII plot (x = value, y = quantile).
+/// `width` x `height` characters.
+[[nodiscard]] std::string ascii_cdf(const sim::SampleSet& samples,
+                                    const std::string& x_label,
+                                    std::size_t width = 64,
+                                    std::size_t height = 16);
+
+/// Renders several labelled series' key quantiles side by side -- the
+/// textual stand-in for a multi-line CDF figure.
+struct QuantileSeries {
+  std::string label;
+  const sim::SampleSet* samples;
+};
+[[nodiscard]] std::string quantile_table(
+    const std::vector<QuantileSeries>& series, const std::string& unit);
+
+/// Renders a time series (e.g. packets per 50 ms) as an ASCII sparkline
+/// block plot.
+[[nodiscard]] std::string ascii_timeseries(
+    const std::vector<sim::TimeSeriesBinner::Bin>& bins,
+    const std::string& label, std::size_t height = 8);
+
+}  // namespace steelnet::core

@@ -1,0 +1,117 @@
+#include "core/traffic_mix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace steelnet::core {
+
+using namespace steelnet::sim::literals;
+
+std::string to_string(FlowClass c) {
+  switch (c) {
+    case FlowClass::kMice: return "mice";
+    case FlowClass::kMedium: return "medium";
+    case FlowClass::kElephant: return "elephant";
+    case FlowClass::kDeterministicMicroflow:
+      return "deterministic-microflow";
+  }
+  return "?";
+}
+
+FlowClass classify(const FlowStats& flow,
+                   const ClassifierThresholds& thresholds) {
+  if (flow.periodic && flow.open_ended &&
+      flow.mean_packet_bytes <= thresholds.micro_packet_max_bytes) {
+    return FlowClass::kDeterministicMicroflow;
+  }
+  return classify_bytes_only(flow, thresholds);
+}
+
+FlowClass classify_bytes_only(const FlowStats& flow,
+                              const ClassifierThresholds& thresholds) {
+  if (flow.total_bytes <= thresholds.mice_max_bytes) return FlowClass::kMice;
+  if (flow.total_bytes >= thresholds.elephant_min_bytes) {
+    return FlowClass::kElephant;
+  }
+  return FlowClass::kMedium;
+}
+
+std::vector<FlowStats> generate_mix(const MixSpec& spec) {
+  sim::Rng rng{spec.seed};
+  std::vector<FlowStats> flows;
+  flows.reserve(spec.mice + spec.medium + spec.elephants + spec.vplc_flows);
+
+  for (std::size_t i = 0; i < spec.mice; ++i) {
+    FlowStats f;
+    f.total_bytes = static_cast<std::uint64_t>(rng.uniform(200, 10.0 * 1024));
+    f.duration = sim::SimTime{
+        static_cast<std::int64_t>(rng.uniform(0.2e6, 5e6))};  // 0.2-5 ms
+    f.mean_packet_bytes = 800;
+    flows.push_back(f);
+  }
+  for (std::size_t i = 0; i < spec.medium; ++i) {
+    FlowStats f;
+    f.total_bytes = static_cast<std::uint64_t>(
+        rng.lognormal(std::log(0.5 * 1024 * 1024), 0.4));
+    f.duration = sim::SimTime{
+        static_cast<std::int64_t>(rng.uniform(5e6, 200e6))};
+    f.mean_packet_bytes = 1400;
+    flows.push_back(f);
+  }
+  for (std::size_t i = 0; i < spec.elephants; ++i) {
+    FlowStats f;
+    f.total_bytes = static_cast<std::uint64_t>(
+        rng.uniform(1.0, 40.0) * 1024 * 1024 * 1024);
+    f.duration = sim::SimTime{
+        static_cast<std::int64_t>(rng.uniform(10e9, 300e9))};
+    f.mean_packet_bytes = 1500;
+    flows.push_back(f);
+  }
+  for (std::size_t i = 0; i < spec.vplc_flows; ++i) {
+    // §2.3: cycles < 2 ms with 20-50 B payloads, or 1-10 ms with up to
+    // 250 B; running for the whole observation window and beyond.
+    FlowStats f;
+    const bool fast = rng.bernoulli(0.5);
+    const double cycle_s =
+        fast ? rng.uniform(250e-6, 2e-3) : rng.uniform(1e-3, 10e-3);
+    f.mean_packet_bytes = static_cast<std::size_t>(
+        fast ? rng.uniform(20, 50) : rng.uniform(40, 250));
+    const double packets = spec.observation.seconds() / cycle_s;
+    f.total_bytes =
+        static_cast<std::uint64_t>(packets * double(f.mean_packet_bytes));
+    f.duration = spec.observation;
+    f.periodic = true;
+    f.open_ended = true;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+std::vector<MixRow> tabulate_mix(const std::vector<FlowStats>& flows) {
+  std::map<FlowClass, MixRow> rows;
+  double total_bytes = 0;
+  for (const auto& f : flows) total_bytes += double(f.total_bytes);
+
+  for (const auto& f : flows) {
+    const FlowClass c = classify(f);
+    MixRow& row = rows[c];
+    row.klass = to_string(c);
+    ++row.count;
+    row.share_of_bytes += double(f.total_bytes);
+    if (classify_bytes_only(f) != c) ++row.misclassified_by_bytes_only;
+  }
+  std::vector<MixRow> out;
+  for (auto& [c, row] : rows) {
+    (void)c;
+    row.share_of_flows = flows.empty()
+                             ? 0
+                             : double(row.count) / double(flows.size());
+    row.share_of_bytes =
+        total_bytes == 0 ? 0 : row.share_of_bytes / total_bytes;
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace steelnet::core

@@ -1,0 +1,77 @@
+// steelnet::core -- the §2.3 flow taxonomy.
+//
+// Data-center flows split into mice / medium / elephant; vPLCs add "a new
+// type of flow ... cyclic, with the transmission of small packets, strict
+// deterministic timing requirements, and never-ending."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace steelnet::core {
+
+enum class FlowClass : std::uint8_t {
+  kMice,      ///< short, latency-sensitive, <~10 KB [48, 114]
+  kMedium,    ///< ~0.5 MB [48]
+  kElephant,  ///< > 1 GB [48]
+  kDeterministicMicroflow,  ///< the vPLC class: cyclic, tiny, endless
+};
+
+[[nodiscard]] std::string to_string(FlowClass c);
+
+/// Observable properties of one flow.
+struct FlowStats {
+  std::uint64_t total_bytes = 0;
+  sim::SimTime duration;
+  std::size_t mean_packet_bytes = 0;
+  bool periodic = false;   ///< fixed inter-packet cadence
+  bool open_ended = false; ///< still running at observation end
+};
+
+struct ClassifierThresholds {
+  std::uint64_t mice_max_bytes = 10 * 1024;            // [114]
+  std::uint64_t elephant_min_bytes = 1024ull * 1024 * 1024;  // [48]
+  std::size_t micro_packet_max_bytes = 250;  ///< §2.3 payload ceiling
+};
+
+/// Classifies a flow; deterministic microflows are recognized by the
+/// combination small-periodic-open-ended regardless of accumulated bytes
+/// (a never-ending flow eventually exceeds any byte threshold -- exactly
+/// why the classic taxonomy misfiles it).
+[[nodiscard]] FlowClass classify(const FlowStats& flow,
+                                 const ClassifierThresholds& thresholds = {});
+
+/// What the classic (bytes-only) taxonomy would have said.
+[[nodiscard]] FlowClass classify_bytes_only(
+    const FlowStats& flow, const ClassifierThresholds& thresholds = {});
+
+/// Synthesis of a mixed DC + vPLC workload for the Table bench.
+struct MixSpec {
+  std::size_t mice = 700;
+  std::size_t medium = 200;
+  std::size_t elephants = 20;
+  std::size_t vplc_flows = 80;
+  sim::SimTime observation = sim::seconds(3600);
+  std::uint64_t seed = 7;
+};
+
+[[nodiscard]] std::vector<FlowStats> generate_mix(const MixSpec& spec);
+
+struct MixRow {
+  std::string klass;
+  std::size_t count = 0;
+  double share_of_flows = 0;
+  double share_of_bytes = 0;
+  std::size_t misclassified_by_bytes_only = 0;
+};
+
+/// Classifies a workload and tabulates it, including how many flows the
+/// bytes-only taxonomy puts in the wrong class.
+[[nodiscard]] std::vector<MixRow> tabulate_mix(
+    const std::vector<FlowStats>& flows);
+
+}  // namespace steelnet::core

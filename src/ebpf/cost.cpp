@@ -1,0 +1,96 @@
+#include "ebpf/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace steelnet::ebpf {
+
+CostModel::CostModel(CostParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+void CostModel::set_concurrent_flows(std::size_t flows) {
+  flows_ = std::max<std::size_t>(1, flows);
+}
+
+double CostModel::miss_probability() const {
+  const double p =
+      params_.cache_miss_p *
+      (1.0 + params_.per_flow_miss_factor * double(flows_ - 1));
+  return std::min(p, 0.75);
+}
+
+double CostModel::insn_cost(const Insn& insn) {
+  double ns;
+  bool touches_memory = false;
+  switch (insn.op) {
+    case Op::kLdPktB: case Op::kLdPktH: case Op::kLdPktW: case Op::kLdPktDw:
+    case Op::kStPktB: case Op::kStPktH: case Op::kStPktW: case Op::kStPktDw:
+      ns = params_.pkt_access_ns;
+      touches_memory = true;
+      break;
+    case Op::kLdStackDw:
+    case Op::kStStackDw:
+      ns = params_.stack_access_ns;
+      touches_memory = true;
+      break;
+    case Op::kCall:
+      return 0.0;  // accounted via helper_cost
+    default:
+      ns = params_.insn_ns;
+      break;
+  }
+  if (touches_memory && params_.cache_miss_ns > 0 &&
+      rng_.bernoulli(miss_probability())) {
+    ns += params_.cache_miss_ns;
+  }
+  return ns;
+}
+
+double CostModel::helper_cost(HelperId helper) {
+  switch (helper) {
+    case HelperId::kKtimeGetNs:
+    case HelperId::kGetPktLen:
+      return params_.ktime_ns;
+    case HelperId::kRingbufOutput: {
+      double ns = params_.ringbuf_base_ns;
+      if (params_.ringbuf_sigma > 0) {
+        // Lognormal multiplier with median 1.
+        ns *= rng_.lognormal(0.0, params_.ringbuf_sigma);
+      }
+      return ns;
+    }
+    case HelperId::kMapLookup:
+    case HelperId::kMapUpdate: {
+      double ns = params_.map_ns;
+      if (params_.cache_miss_ns > 0 && rng_.bernoulli(miss_probability())) {
+        ns += params_.cache_miss_ns;
+      }
+      return ns;
+    }
+  }
+  return 0.0;
+}
+
+double CostModel::environment_noise() {
+  double sigma = params_.env_sigma_ns;
+  if (flows_ > 1 && params_.per_flow_env_ns > 0) {
+    sigma += params_.per_flow_env_ns * std::sqrt(double(flows_ - 1));
+  }
+  double ns = sigma > 0 ? std::abs(rng_.normal(0.0, sigma)) : 0.0;
+  const double irq_p =
+      std::min(params_.irq_p * double(flows_), 0.5);
+  if (irq_p > 0 && rng_.bernoulli(irq_p)) ns += params_.irq_ns;
+  return ns;
+}
+
+CostParams CostModel::deterministic(CostParams p) {
+  p.ringbuf_sigma = 0;
+  p.cache_miss_p = 0;
+  p.env_sigma_ns = 0;
+  p.per_flow_miss_factor = 0;
+  p.per_flow_env_ns = 0;
+  p.irq_p = 0;
+  return p;
+}
+
+}  // namespace steelnet::ebpf

@@ -1,0 +1,88 @@
+// steelnet::ebpf -- the execution-time model.
+//
+// Real XDP programs run JIT-compiled: an ALU instruction costs well under
+// a nanosecond, but helper calls, map lookups and the ring buffer touch
+// shared cache lines and take locks, and the *execution environment*
+// (cache/TLB pressure from concurrent flows, occasional IRQs) adds jitter
+// that no amount of code care removes. Fig. 4's two findings -- (1) small
+// code changes shift the delay CDF, (2) more flows handled by the same
+// hook raise jitter -- fall directly out of this model:
+//   cost = sum(per-insn) + sum(per-helper draws) + environment noise
+#pragma once
+
+#include <cstdint>
+
+#include "ebpf/isa.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace steelnet::ebpf {
+
+struct CostParams {
+  /// Fixed per-run overhead: NIC rx pipeline, DMA completion, XDP
+  /// dispatch. Charged once per program execution.
+  double per_run_base_ns = 0.0;
+  /// JITed ALU/branch instruction.
+  double insn_ns = 0.9;
+  /// Packet byte load/store (usually L1-resident: the NIC just DMA'd it).
+  double pkt_access_ns = 1.8;
+  /// Stack access.
+  double stack_access_ns = 1.2;
+  /// bpf_ktime_get_ns(): reads the clocksource.
+  double ktime_ns = 18.0;
+  /// Ring buffer reserve+memcpy+commit fast path...
+  double ringbuf_base_ns = 95.0;
+  /// ...plus a lognormal excursion (producer lock contention, wakeup of
+  /// the consumer, cache-line bouncing). sigma of ln-space.
+  double ringbuf_sigma = 0.55;
+  /// Hash-map operation fast path.
+  double map_ns = 22.0;
+  /// Probability one memory-touching op misses cache...
+  double cache_miss_p = 0.015;
+  /// ...costing this much extra.
+  double cache_miss_ns = 90.0;
+  /// Per-packet environment noise floor (PCIe completion scheduling,
+  /// prefetcher nondeterminism): half-normal sigma.
+  double env_sigma_ns = 14.0;
+  /// Each additional concurrent flow handled by the same hook adds cache
+  /// pressure: miss probability grows by this factor per flow...
+  double per_flow_miss_factor = 0.08;
+  /// ...and the environment noise sigma by this many ns per sqrt(flow).
+  double per_flow_env_ns = 55.0;
+  /// Probability of a softirq/IRQ preemption mid-program per packet,
+  /// scaled by flow count.
+  double irq_p = 0.00004;
+  double irq_ns = 3500.0;
+};
+
+/// Draws execution-time contributions for one program run. Stateful:
+/// set_concurrent_flows models the shared-hook pressure of Fig. 4-right.
+class CostModel {
+ public:
+  CostModel(CostParams params, std::uint64_t seed);
+
+  void set_concurrent_flows(std::size_t flows);
+  [[nodiscard]] std::size_t concurrent_flows() const { return flows_; }
+
+  /// Cost of one instruction (may include a stochastic miss).
+  double insn_cost(const Insn& insn);
+  /// Cost of one helper call.
+  double helper_cost(HelperId helper);
+  /// Per-packet environment noise (added once per program run).
+  double environment_noise();
+
+  [[nodiscard]] const CostParams& params() const { return params_; }
+
+  /// A zero-variance copy of `p` (every stochastic term disabled) -- the
+  /// ablation in DESIGN.md: constant costs collapse the Fig. 4 spread.
+  [[nodiscard]] static CostParams deterministic(CostParams p);
+
+ private:
+  double miss_probability() const;
+
+  CostParams params_;
+  sim::Rng rng_;
+  std::size_t flows_ = 1;
+};
+
+}  // namespace steelnet::ebpf

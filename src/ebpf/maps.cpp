@@ -1,0 +1,65 @@
+#include "ebpf/maps.hpp"
+
+#include <stdexcept>
+
+namespace steelnet::ebpf {
+
+HashMap::HashMap(std::size_t max_entries) : max_entries_(max_entries) {
+  if (max_entries == 0) throw std::invalid_argument("HashMap: zero capacity");
+}
+
+std::uint64_t HashMap::lookup(std::uint64_t key) const {
+  const auto it = data_.find(key);
+  return it == data_.end() ? 0 : it->second;
+}
+
+bool HashMap::contains(std::uint64_t key) const { return data_.contains(key); }
+
+bool HashMap::update(std::uint64_t key, std::uint64_t value) {
+  const auto it = data_.find(key);
+  if (it != data_.end()) {
+    it->second = value;
+    return true;
+  }
+  if (data_.size() >= max_entries_) return false;
+  data_.emplace(key, value);
+  return true;
+}
+
+bool HashMap::erase(std::uint64_t key) { return data_.erase(key) > 0; }
+
+RingBuffer::RingBuffer(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {
+  if (capacity_bytes == 0) {
+    throw std::invalid_argument("RingBuffer: zero capacity");
+  }
+}
+
+bool RingBuffer::output(const std::uint8_t* data, std::size_t len) {
+  const std::size_t need = len + kRecordHeader;
+  if (used_ + need > capacity_) {
+    ++dropped_;
+    return false;
+  }
+  Record r;
+  r.data.assign(data, data + len);
+  used_ += need;
+  records_.push_back(std::move(r));
+  ++produced_;
+  return true;
+}
+
+RingBuffer::Record RingBuffer::pop() {
+  if (records_.empty()) throw std::logic_error("RingBuffer::pop on empty");
+  Record r = std::move(records_.front());
+  records_.pop_front();
+  used_ -= r.data.size() + kRecordHeader;
+  return r;
+}
+
+void RingBuffer::drain() {
+  records_.clear();
+  used_ = 0;
+}
+
+}  // namespace steelnet::ebpf

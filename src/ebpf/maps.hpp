@@ -1,0 +1,66 @@
+// steelnet::ebpf -- maps and the ring buffer (program <-> user plumbing).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace steelnet::ebpf {
+
+/// A u64 -> u64 hash map with a bounded entry count, as BPF_MAP_TYPE_HASH.
+class HashMap {
+ public:
+  explicit HashMap(std::size_t max_entries = 1024);
+
+  /// Returns the value or 0 on miss (helper semantics: NULL pointer).
+  [[nodiscard]] std::uint64_t lookup(std::uint64_t key) const;
+  [[nodiscard]] bool contains(std::uint64_t key) const;
+  /// Returns false (and drops the update) when the map is full.
+  bool update(std::uint64_t key, std::uint64_t value);
+  bool erase(std::uint64_t key);
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t max_entries() const { return max_entries_; }
+
+ private:
+  std::size_t max_entries_;
+  std::unordered_map<std::uint64_t, std::uint64_t> data_;
+};
+
+/// BPF_MAP_TYPE_RINGBUF: a byte-budgeted single-producer ring. Records
+/// are dropped (and counted) when the buffer is full -- exactly the
+/// back-pressure behaviour whose cost shows up in Fig. 4's TS-RB curves.
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity_bytes = 1 << 16);
+
+  struct Record {
+    std::vector<std::uint8_t> data;
+  };
+
+  /// Producer side (helper). Returns false if the record didn't fit.
+  bool output(const std::uint8_t* data, std::size_t len);
+
+  /// Consumer side: pops the oldest record, if any.
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  Record pop();
+  /// Drains the consumer side without reading (a fast consumer keeps the
+  /// ring near-empty; experiments call this between packets).
+  void drain();
+
+  [[nodiscard]] std::size_t used_bytes() const { return used_; }
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
+  [[nodiscard]] std::uint64_t produced() const { return produced_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  static constexpr std::size_t kRecordHeader = 8;  // length + busy bit word
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::deque<Record> records_;
+  std::uint64_t produced_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace steelnet::ebpf

@@ -1,0 +1,260 @@
+#include "ebpf/verifier.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace steelnet::ebpf {
+
+namespace {
+
+bool is_jump(Op op) {
+  switch (op) {
+    case Op::kJa:
+    case Op::kJeqImm:
+    case Op::kJeqReg:
+    case Op::kJneImm:
+    case Op::kJneReg:
+    case Op::kJgtImm:
+    case Op::kJgtReg:
+    case Op::kJgeImm:
+    case Op::kJgeReg:
+    case Op::kJltImm:
+    case Op::kJltReg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Registers an instruction reads / writes, for def-before-use analysis.
+struct RegUse {
+  std::uint32_t reads = 0;   // bitmask
+  std::uint32_t writes = 0;  // bitmask
+};
+
+RegUse reg_use(const Insn& i) {
+  RegUse u;
+  auto rd = [&](std::uint8_t r) { u.reads |= 1u << r; };
+  auto wr = [&](std::uint8_t r) { u.writes |= 1u << r; };
+  switch (i.op) {
+    case Op::kMovImm:
+      wr(i.dst);
+      break;
+    case Op::kMovReg:
+      rd(i.src);
+      wr(i.dst);
+      break;
+    case Op::kNeg:
+      rd(i.dst);
+      wr(i.dst);
+      break;
+    case Op::kAddImm: case Op::kSubImm: case Op::kMulImm: case Op::kDivImm:
+    case Op::kAndImm: case Op::kOrImm: case Op::kXorImm:
+    case Op::kLshImm: case Op::kRshImm:
+      rd(i.dst);
+      wr(i.dst);
+      break;
+    case Op::kAddReg: case Op::kSubReg: case Op::kMulReg: case Op::kDivReg:
+    case Op::kAndReg: case Op::kOrReg: case Op::kXorReg:
+    case Op::kLshReg: case Op::kRshReg:
+      rd(i.dst);
+      rd(i.src);
+      wr(i.dst);
+      break;
+    case Op::kLdPktB: case Op::kLdPktH: case Op::kLdPktW: case Op::kLdPktDw:
+    case Op::kLdStackDw:
+      wr(i.dst);
+      break;
+    case Op::kStPktB: case Op::kStPktH: case Op::kStPktW: case Op::kStPktDw:
+    case Op::kStStackDw:
+      rd(i.src);
+      break;
+    case Op::kCall:
+      // Helpers read r1-r5 as needed; we conservatively require r1-r3
+      // for helpers that take arguments, and all clobber r0-r5.
+      switch (static_cast<HelperId>(i.imm)) {
+        case HelperId::kRingbufOutput:
+          rd(1);
+          rd(2);
+          break;
+        case HelperId::kMapLookup:
+          rd(1);
+          rd(2);
+          break;
+        case HelperId::kMapUpdate:
+          rd(1);
+          rd(2);
+          rd(3);
+          break;
+        case HelperId::kKtimeGetNs:
+        case HelperId::kGetPktLen:
+          break;
+      }
+      for (std::uint8_t r = 0; r <= 5; ++r) wr(r);
+      break;
+    case Op::kJa:
+      break;
+    case Op::kJeqImm: case Op::kJneImm: case Op::kJgtImm: case Op::kJltImm:
+    case Op::kJgeImm:
+      rd(i.dst);
+      break;
+    case Op::kJeqReg: case Op::kJneReg: case Op::kJgtReg: case Op::kJgeReg:
+    case Op::kJltReg:
+      rd(i.dst);
+      rd(i.src);
+      break;
+    case Op::kExit:
+      rd(0);
+      break;
+  }
+  return u;
+}
+
+bool valid_helper(std::int64_t imm) {
+  switch (static_cast<HelperId>(imm)) {
+    case HelperId::kKtimeGetNs:
+    case HelperId::kRingbufOutput:
+    case HelperId::kMapLookup:
+    case HelperId::kMapUpdate:
+    case HelperId::kGetPktLen:
+      return true;
+  }
+  return false;
+}
+
+std::size_t access_width(Op op) {
+  switch (op) {
+    case Op::kLdPktB: case Op::kStPktB: return 1;
+    case Op::kLdPktH: case Op::kStPktH: return 2;
+    case Op::kLdPktW: case Op::kStPktW: return 4;
+    default: return 8;
+  }
+}
+
+}  // namespace
+
+VerifierResult verify(const Program& program) {
+  const auto& insns = program.insns;
+  auto reject = [&](std::size_t idx, const std::string& why) {
+    VerifierResult r;
+    r.ok = false;
+    r.error = program.name + ": insn " + std::to_string(idx) + " (" +
+              (idx < insns.size() ? disassemble(insns[idx]) : "<eof>") +
+              "): " + why;
+    return r;
+  };
+
+  if (insns.empty()) return reject(0, "empty program");
+  if (insns.size() > kMaxInsns) return reject(0, "program too long");
+
+  // --- structural checks ---
+  for (std::size_t i = 0; i < insns.size(); ++i) {
+    const Insn& insn = insns[i];
+    const RegUse u = reg_use(insn);
+    for (std::uint8_t r = 0; r < 16; ++r) {
+      const bool used = ((u.reads | u.writes) >> r) & 1;
+      if (used && r >= kNumRegisters) {
+        return reject(i, "register out of range");
+      }
+    }
+    if ((u.writes >> kFramePointer) & 1) {
+      return reject(i, "write to frame pointer r10");
+    }
+    if (is_jump(insn.op)) {
+      if (insn.off < 0) return reject(i, "backward jump (loops forbidden)");
+      const std::size_t target = i + 1 + static_cast<std::size_t>(insn.off);
+      if (target >= insns.size()) return reject(i, "jump out of range");
+    }
+    switch (insn.op) {
+      case Op::kLdPktB: case Op::kLdPktH: case Op::kLdPktW: case Op::kLdPktDw:
+      case Op::kStPktB: case Op::kStPktH: case Op::kStPktW: case Op::kStPktDw: {
+        if (insn.off < 0) return reject(i, "negative packet offset");
+        if (static_cast<std::size_t>(insn.off) + access_width(insn.op) >
+            kMaxPacketOffset) {
+          return reject(i, "packet offset exceeds static bound");
+        }
+        break;
+      }
+      case Op::kLdStackDw:
+      case Op::kStStackDw: {
+        if (insn.off >= 0) return reject(i, "stack offset must be negative");
+        if (insn.off < -static_cast<std::int32_t>(kStackBytes)) {
+          return reject(i, "stack offset below frame");
+        }
+        if ((-insn.off) % 8 != 0) return reject(i, "unaligned stack access");
+        break;
+      }
+      case Op::kCall:
+        if (!valid_helper(insn.imm)) return reject(i, "unknown helper");
+        break;
+      case Op::kDivImm:
+        if (insn.imm == 0) return reject(i, "division by constant zero");
+        break;
+      case Op::kLshImm:
+      case Op::kRshImm:
+        if (insn.imm < 0 || insn.imm > 63) return reject(i, "bad shift");
+        break;
+      default:
+        break;
+    }
+  }
+  // Only Exit and an unconditional jump cannot fall through.
+  if (insns.back().op != Op::kExit && insns.back().op != Op::kJa) {
+    return reject(insns.size() - 1, "program can fall off the end");
+  }
+
+  // --- def-before-use over the (acyclic) CFG ---
+  // init[i] = registers definitely initialized when reaching insn i.
+  // r1 = context pointer, r10 = frame pointer on entry.
+  constexpr std::uint32_t kEntryInit = (1u << 1) | (1u << kFramePointer);
+  constexpr std::uint32_t kUnreached = 0xffffffffu;  // top element (meet = &)
+  std::vector<std::uint32_t> init(insns.size(), kUnreached);
+  init[0] = kEntryInit;
+  bool falls_off = false;
+  for (std::size_t i = 0; i < insns.size(); ++i) {
+    if (init[i] == kUnreached) continue;  // unreachable code is fine
+    const Insn& insn = insns[i];
+    const RegUse u = reg_use(insn);
+    if ((u.reads & ~init[i]) != 0) {
+      for (std::uint8_t r = 0; r < kNumRegisters; ++r) {
+        if ((u.reads >> r) & 1 && !((init[i] >> r) & 1)) {
+          return reject(i, "read of uninitialized register r" +
+                               std::to_string(r));
+        }
+      }
+    }
+    const std::uint32_t out = init[i] | u.writes;
+    auto propagate = [&](std::size_t succ) {
+      init[succ] &= out;  // meet: initialized on *all* paths
+    };
+    if (insn.op == Op::kExit) continue;
+    if (insn.op == Op::kJa) {
+      propagate(i + 1 + static_cast<std::size_t>(insn.off));
+      continue;
+    }
+    if (is_jump(insn.op)) {
+      propagate(i + 1 + static_cast<std::size_t>(insn.off));
+      propagate(i + 1);
+      continue;
+    }
+    if (i + 1 < insns.size()) {
+      propagate(i + 1);
+    } else {
+      falls_off = true;
+    }
+  }
+  if (falls_off) return reject(insns.size() - 1, "fall off the end");
+
+  VerifierResult r;
+  r.ok = true;
+  r.max_insns_executed = insns.size();
+  return r;
+}
+
+VerifierResult verify_or_throw(const Program& program) {
+  VerifierResult r = verify(program);
+  if (!r.ok) throw std::invalid_argument("verifier: " + r.error);
+  return r;
+}
+
+}  // namespace steelnet::ebpf

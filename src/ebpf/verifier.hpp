@@ -1,0 +1,33 @@
+// steelnet::ebpf -- static program verification.
+//
+// Mirrors the safety arguments of the kernel verifier that matter for the
+// paper's determinism discussion (§3):
+//   * termination: only forward jumps, bounded instruction count
+//   * memory safety: packet/stack offsets statically bounded
+//   * defined values: no read of an uninitialized register
+//   * no floating point: the ISA simply has none; unknown opcodes reject
+// Verification is a pure function: Program -> accept | reject(reason).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ebpf/isa.hpp"
+
+namespace steelnet::ebpf {
+
+struct VerifierResult {
+  bool ok = false;
+  std::string error;  ///< empty when ok
+  /// Upper bound on executed instructions (= insn count for loop-free
+  /// programs); the cost model uses this for worst-case estimates.
+  std::size_t max_insns_executed = 0;
+};
+
+[[nodiscard]] VerifierResult verify(const Program& program);
+
+/// Throws std::invalid_argument with the verifier error unless `program`
+/// verifies. Returns the result for convenience.
+VerifierResult verify_or_throw(const Program& program);
+
+}  // namespace steelnet::ebpf

@@ -1,0 +1,66 @@
+// steelnet::host -- composed host rx/tx paths and canonical host profiles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "host/kernel.hpp"
+#include "host/pcie.hpp"
+#include "host/samplers.hpp"
+#include "net/host_node.hpp"
+
+namespace steelnet::host {
+
+/// A full host path: PCIe + kernel + contention, for rx and tx, pluggable
+/// into net::HostNode. Owns its samplers.
+class HostPath final : public net::HostPathModel {
+ public:
+  /// The contention handles, when given, must point into the respective
+  /// sampler chains (set_load is forwarded to them).
+  HostPath(std::unique_ptr<LatencySampler> rx,
+           std::unique_ptr<LatencySampler> tx,
+           ContentionScaledSampler* rx_contention = nullptr,
+           ContentionScaledSampler* tx_contention = nullptr);
+
+  sim::SimTime sample_rx(std::size_t bytes) override;
+  sim::SimTime sample_tx(std::size_t bytes) override;
+
+  /// Informs contention-aware stages how many flows share the host.
+  /// (No-op for paths without a ContentionScaledSampler.)
+  void set_load(std::size_t concurrent_flows);
+
+ private:
+  std::unique_ptr<LatencySampler> rx_;
+  std::unique_ptr<LatencySampler> tx_;
+  ContentionScaledSampler* rx_contention_ = nullptr;  // borrowed from rx_
+  ContentionScaledSampler* tx_contention_ = nullptr;  // borrowed from tx_
+};
+
+/// Named host configurations used across experiments.
+class HostProfile {
+ public:
+  /// Zero-latency host: frames go NIC <-> app instantly.
+  static std::unique_ptr<HostPath> ideal();
+
+  /// Bare-metal industrial PC, dual-kernel RTOS, DPDK-style polling:
+  /// the hardware-PLC stand-in.
+  static std::unique_ptr<HostPath> bare_metal_rt(std::uint64_t seed);
+
+  /// Server with PREEMPT_RT kernel (the paper's test end hosts, §3).
+  static std::unique_ptr<HostPath> server_preempt_rt(std::uint64_t seed);
+
+  /// Server with vanilla kernel -- the worst case for vPLCs.
+  static std::unique_ptr<HostPath> server_vanilla(std::uint64_t seed);
+
+  /// Virtualized (container/VM) PREEMPT_RT host: adds a vswitch/vhost
+  /// traversal stage on top of server_preempt_rt. The vPLC default.
+  static std::unique_ptr<HostPath> virtualized_rt(std::uint64_t seed);
+
+  /// Builds the profile by name ("ideal", "bare_metal_rt", ...); throws
+  /// std::invalid_argument for unknown names. For config files.
+  static std::unique_ptr<HostPath> by_name(const std::string& name,
+                                           std::uint64_t seed);
+};
+
+}  // namespace steelnet::host

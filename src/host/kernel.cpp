@@ -1,0 +1,51 @@
+#include "host/kernel.hpp"
+
+#include <cmath>
+
+namespace steelnet::host {
+
+std::string_view to_string(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kVanilla:
+      return "vanilla";
+    case KernelKind::kPreemptRt:
+      return "preempt_rt";
+    case KernelKind::kDualKernel:
+      return "dual_kernel";
+  }
+  return "?";
+}
+
+KernelModelParams kernel_params(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kVanilla:
+      // Low median but heavy, frequent tails (timer ticks, softirq storms).
+      return {sim::microseconds(3), 0.45, 0.02, sim::microseconds(20), 1.3};
+    case KernelKind::kPreemptRt:
+      // Slightly higher median (preemptible everything costs throughput),
+      // tails rarer and flatter -- but not zero (§2.1: not hard real-time).
+      return {sim::microseconds(4), 0.20, 0.002, sim::microseconds(12), 2.0};
+    case KernelKind::kDualKernel:
+      // Co-kernel handles RT path: tight, nearly deterministic.
+      return {sim::microseconds(1), 0.05, 0.0001, sim::microseconds(3), 3.0};
+  }
+  return {};
+}
+
+KernelModel::KernelModel(KernelKind kind, std::uint64_t seed)
+    : KernelModel(kernel_params(kind), seed) {}
+
+KernelModel::KernelModel(KernelModelParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+sim::SimTime KernelModel::sample(std::size_t) {
+  const double mu = std::log(double(params_.median.nanos()));
+  auto v = static_cast<std::int64_t>(rng_.lognormal(mu, params_.sigma));
+  if (params_.tail_prob > 0 && rng_.bernoulli(params_.tail_prob)) {
+    v += static_cast<std::int64_t>(
+        rng_.pareto(double(params_.tail_scale.nanos()), params_.tail_alpha));
+  }
+  return sim::SimTime{v};
+}
+
+}  // namespace steelnet::host

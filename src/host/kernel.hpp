@@ -1,0 +1,50 @@
+// steelnet::host -- kernel scheduling-latency model.
+//
+// §2.1: dual-kernel RTOSes outperform PREEMPT_RT, but PREEMPT_RT "cannot
+// be considered hard real-time due to unpredictable kernel-induced
+// latencies" [84]. We model three kernels:
+//   kVanilla    -- mainline Linux: low median, frequent multi-10us tails
+//   kPreemptRt  -- PREEMPT_RT: slightly higher median, rare bounded tails
+//   kDualKernel -- Xenomai-style co-kernel: tight and nearly fixed
+// Parameters are shaped to reproduce the *relative* behaviour reported in
+// the cyclictest literature, not any specific machine.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "host/samplers.hpp"
+
+namespace steelnet::host {
+
+enum class KernelKind : std::uint8_t { kVanilla, kPreemptRt, kDualKernel };
+
+[[nodiscard]] std::string_view to_string(KernelKind kind);
+
+struct KernelModelParams {
+  sim::SimTime median;
+  double sigma;          ///< lognormal shape of the body
+  double tail_prob;      ///< probability of a preemption excursion
+  sim::SimTime tail_scale;
+  double tail_alpha;
+};
+
+/// Canonical parameters for each kernel kind.
+[[nodiscard]] KernelModelParams kernel_params(KernelKind kind);
+
+/// Scheduling + softirq + wakeup latency of one packet traversal.
+class KernelModel final : public LatencySampler {
+ public:
+  KernelModel(KernelKind kind, std::uint64_t seed);
+  KernelModel(KernelModelParams params, std::uint64_t seed);
+
+  sim::SimTime sample(std::size_t bytes) override;
+
+  [[nodiscard]] const KernelModelParams& params() const { return params_; }
+
+ private:
+  KernelModelParams params_;
+  sim::Rng rng_;
+};
+
+}  // namespace steelnet::host

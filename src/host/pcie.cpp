@@ -1,0 +1,33 @@
+#include "host/pcie.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace steelnet::host {
+
+PcieModel::PcieModel(PcieConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+  if (cfg_.tlp_bytes == 0) throw std::invalid_argument("PcieModel: tlp=0");
+}
+
+sim::SimTime PcieModel::nominal(std::size_t bytes) const {
+  const std::size_t tlps =
+      bytes == 0 ? 1 : (bytes + cfg_.tlp_bytes - 1) / cfg_.tlp_bytes;
+  return cfg_.base + cfg_.per_tlp * static_cast<std::int64_t>(tlps - 1) +
+         cfg_.per_byte * static_cast<std::int64_t>(bytes);
+}
+
+double PcieModel::overhead_fraction(std::size_t bytes) const {
+  const auto total = nominal(bytes);
+  if (total <= sim::SimTime::zero()) return 0.0;
+  return double(cfg_.base.nanos()) / double(total.nanos());
+}
+
+sim::SimTime PcieModel::sample(std::size_t bytes) {
+  const sim::SimTime nom = nominal(bytes);
+  const auto noise = static_cast<std::int64_t>(
+      rng_.normal(0.0, double(cfg_.jitter.nanos())));
+  return std::max(sim::SimTime{nom.nanos() / 2}, nom + sim::SimTime{noise});
+}
+
+}  // namespace steelnet::host

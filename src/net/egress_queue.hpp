@@ -1,0 +1,60 @@
+// steelnet::net -- per-port egress queueing with strict priority and an
+// optional TSN gate controller.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "net/frame.hpp"
+#include "net/node.hpp"
+#include "net/network.hpp"
+
+namespace steelnet::net {
+
+/// Per-priority drop/transmit counters of one egress port.
+struct EgressCounters {
+  std::uint64_t enqueued = 0;
+  std::uint64_t transmitted = 0;
+  std::uint64_t dropped_overflow = 0;
+};
+
+/// Eight strict-priority FIFO queues in front of one channel.
+///
+/// Owned by a Node for each of its ports. The owning node must forward
+/// on_channel_idle(port) to drain(). If a GateController is installed,
+/// frames only start when their gate is open for the frame's whole
+/// duration (802.1Qbv semantics, including the implicit guard band).
+class EgressQueue {
+ public:
+  static constexpr std::size_t kPriorities = 8;
+
+  /// `capacity_per_queue` == 0 means unbounded.
+  EgressQueue(Node& owner, PortId port, std::size_t capacity_per_queue = 1024);
+
+  /// Queues the frame (by pcp) and drains if possible.
+  void enqueue(Frame frame);
+
+  /// Attempts to start transmitting the best eligible frame. Called on
+  /// enqueue, on channel idle, and when a gate opens.
+  void drain();
+
+  void set_gate_controller(const GateController* gates) { gates_ = gates; }
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t depth(std::uint8_t pcp) const {
+    return queues_[pcp].size();
+  }
+  [[nodiscard]] const EgressCounters& counters() const { return counters_; }
+
+ private:
+  Node& owner_;
+  PortId port_;
+  std::size_t capacity_;
+  std::array<std::deque<Frame>, kPriorities> queues_;
+  const GateController* gates_ = nullptr;
+  sim::EventHandle gate_retry_;
+  EgressCounters counters_;
+};
+
+}  // namespace steelnet::net

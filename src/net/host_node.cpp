@@ -1,0 +1,88 @@
+#include "net/host_node.hpp"
+
+namespace steelnet::net {
+
+HostNode::HostNode(MacAddress mac)
+    : mac_(mac), egress_(*this, kNicPort, /*capacity_per_queue=*/4096) {}
+
+void HostNode::send(Frame frame) {
+  ++counters_.sent;
+  frame.created_at = network().sim().now();
+  if (frame.src.bits() == 0) frame.src = mac_;
+  const sim::SimTime tx_lat =
+      host_path_ != nullptr
+          ? host_path_->sample_tx(frame.payload.size())
+          : sim::SimTime::zero();
+  if (tx_lat == sim::SimTime::zero()) {
+    egress_.enqueue(std::move(frame));
+    return;
+  }
+  network().sim().schedule_in(tx_lat, [this, f = std::move(frame)]() mutable {
+    egress_.enqueue(std::move(f));
+  });
+}
+
+void HostNode::handle_frame(Frame frame, PortId in_port) {
+  (void)in_port;
+  // NIC destination filter: unicast frames for somebody else (flooded by
+  // a learning switch) are dropped before any processing.
+  if (!frame.dst.is_broadcast() && !frame.dst.is_multicast() &&
+      frame.dst != mac_) {
+    ++counters_.filtered;
+    return;
+  }
+  if (nic_prog_ != nullptr) {
+    sim::SimTime cost = sim::SimTime::zero();
+    const NicAction action =
+        nic_prog_->process(frame, network().sim().now(), cost);
+    switch (action) {
+      case NicAction::kDrop:
+        ++counters_.nic_drop;
+        return;
+      case NicAction::kAborted:
+        ++counters_.nic_aborted;
+        return;
+      case NicAction::kTx: {
+        ++counters_.nic_tx;
+        // Bounce back out after the program's processing time.
+        network().sim().schedule_in(cost,
+                                    [this, f = std::move(frame)]() mutable {
+                                      egress_.enqueue(std::move(f));
+                                    });
+        return;
+      }
+      case NicAction::kPass:
+        ++counters_.nic_pass;
+        if (cost > sim::SimTime::zero()) {
+          network().sim().schedule_in(
+              cost, [this, f = std::move(frame)]() mutable {
+                deliver_up(std::move(f));
+              });
+          return;
+        }
+        break;
+    }
+  }
+  deliver_up(std::move(frame));
+}
+
+void HostNode::deliver_up(Frame frame) {
+  ++counters_.received;
+  const sim::SimTime rx_lat =
+      host_path_ != nullptr
+          ? host_path_->sample_rx(frame.payload.size())
+          : sim::SimTime::zero();
+  if (rx_lat == sim::SimTime::zero()) {
+    if (receiver_) receiver_(std::move(frame), network().sim().now());
+    return;
+  }
+  network().sim().schedule_in(rx_lat, [this, f = std::move(frame)]() mutable {
+    if (receiver_) receiver_(std::move(f), network().sim().now());
+  });
+}
+
+void HostNode::on_channel_idle(PortId port) {
+  if (port == kNicPort) egress_.drain();
+}
+
+}  // namespace steelnet::net

@@ -1,0 +1,93 @@
+// steelnet::net -- an end host: NIC + optional XDP-style hook + optional
+// host-path latency model + application callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/egress_queue.hpp"
+#include "net/node.hpp"
+
+namespace steelnet::net {
+
+/// What a NIC-level packet program decided (mirrors XDP verdicts).
+enum class NicAction : std::uint8_t {
+  kPass,     ///< deliver up the host stack to the application
+  kDrop,     ///< discard
+  kTx,       ///< bounce back out of the receiving NIC (possibly rewritten)
+  kAborted,  ///< program error; frame discarded and counted separately
+};
+
+/// A packet program attached at the NIC (implemented by steelnet::ebpf's
+/// XDP hook). `cost_out` is the processing time the program consumed; the
+/// resulting action takes effect only after that time has elapsed.
+class NicProcessor {
+ public:
+  virtual ~NicProcessor() = default;
+  virtual NicAction process(Frame& frame, sim::SimTime now,
+                            sim::SimTime& cost_out) = 0;
+};
+
+/// Host-path latency (PCIe + kernel + scheduling); implemented by
+/// steelnet::host. Samples are drawn per frame and may be stochastic.
+class HostPathModel {
+ public:
+  virtual ~HostPathModel() = default;
+  /// NIC -> application delivery latency for a frame of `bytes`.
+  virtual sim::SimTime sample_rx(std::size_t bytes) = 0;
+  /// Application send() -> wire latency for a frame of `bytes`.
+  virtual sim::SimTime sample_tx(std::size_t bytes) = 0;
+};
+
+struct HostCounters {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t filtered = 0;  ///< dst MAC not ours (flooded traffic)
+  std::uint64_t nic_pass = 0;
+  std::uint64_t nic_drop = 0;
+  std::uint64_t nic_tx = 0;
+  std::uint64_t nic_aborted = 0;
+};
+
+/// A single-NIC end host (port 0).
+class HostNode : public Node {
+ public:
+  /// Receives the frame and the time the application saw it.
+  using Receiver = std::function<void(Frame, sim::SimTime)>;
+
+  explicit HostNode(MacAddress mac);
+
+  [[nodiscard]] MacAddress mac() const { return mac_; }
+
+  /// Application-level send; stamps created_at, applies host tx latency,
+  /// then queues at the NIC.
+  void send(Frame frame);
+
+  void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+  /// Attaches/detaches a NIC packet program (XDP-style). Not owned.
+  void set_nic_processor(NicProcessor* prog) { nic_prog_ = prog; }
+  /// Attaches a host-path latency model. Not owned; nullptr = ideal host.
+  void set_host_path(HostPathModel* model) { host_path_ = model; }
+
+  void handle_frame(Frame frame, PortId in_port) override;
+  void on_channel_idle(PortId port) override;
+
+  [[nodiscard]] const HostCounters& counters() const { return counters_; }
+  [[nodiscard]] const EgressCounters& nic_queue_counters() const {
+    return egress_.counters();
+  }
+
+  static constexpr PortId kNicPort = 0;
+
+ private:
+  void deliver_up(Frame frame);
+
+  MacAddress mac_;
+  EgressQueue egress_;
+  Receiver receiver_;
+  NicProcessor* nic_prog_ = nullptr;
+  HostPathModel* host_path_ = nullptr;
+  HostCounters counters_;
+};
+
+}  // namespace steelnet::net

@@ -1,0 +1,61 @@
+// steelnet::net -- MAC addresses and well-known ether types.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace steelnet::net {
+
+/// A 48-bit MAC address stored in the low bits of a u64.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::uint64_t bits)
+      : bits_(bits & 0xffff'ffff'ffffULL) {}
+
+  [[nodiscard]] constexpr std::uint64_t bits() const { return bits_; }
+  [[nodiscard]] constexpr bool is_broadcast() const {
+    return bits_ == 0xffff'ffff'ffffULL;
+  }
+  [[nodiscard]] constexpr bool is_multicast() const {
+    return (bits_ >> 40) & 0x01;
+  }
+
+  static constexpr MacAddress broadcast() {
+    return MacAddress{0xffff'ffff'ffffULL};
+  }
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+  /// "aa:bb:cc:dd:ee:ff"
+  [[nodiscard]] std::string to_string() const {
+    char buf[18];
+    std::uint64_t b = bits_;
+    static const char* hex = "0123456789abcdef";
+    for (int i = 5; i >= 0; --i) {
+      const auto byte = static_cast<unsigned>(b & 0xff);
+      buf[i * 3] = hex[byte >> 4];
+      buf[i * 3 + 1] = hex[byte & 0xf];
+      if (i != 5) buf[i * 3 + 2] = ':';
+      b >>= 8;
+    }
+    buf[17] = '\0';
+    return buf;
+  }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+/// Ether types used inside steelnet. Values mirror real registrations
+/// where one exists.
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kVlan = 0x8100,
+  kProfinetRt = 0x8892,  ///< PROFINET cyclic real-time
+  kPtp = 0x88f7,         ///< IEEE 1588
+  kExperimental = 0x88b5,
+};
+
+}  // namespace steelnet::net

@@ -1,0 +1,92 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace steelnet::net {
+
+void Network::connect(NodeId a, PortId port_a, NodeId b, PortId port_b,
+                      LinkParams params) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw sim::SimError("Network::connect: unknown node");
+  }
+  if (channels_.contains(key(a, port_a)) || channels_.contains(key(b, port_b))) {
+    throw sim::SimError("Network::connect: port already connected");
+  }
+  channels_.emplace(key(a, port_a),
+                    Channel{b, port_b, params, sim::SimTime::zero()});
+  channels_.emplace(key(b, port_b),
+                    Channel{a, port_a, params, sim::SimTime::zero()});
+}
+
+bool Network::has_channel(NodeId node, PortId port) const {
+  return channels_.contains(key(node, port));
+}
+
+bool Network::channel_idle(NodeId node, PortId port) const {
+  const auto it = channels_.find(key(node, port));
+  if (it == channels_.end()) return false;
+  return it->second.busy_until <= sim_.now();
+}
+
+std::uint64_t Network::channel_rate(NodeId node, PortId port) const {
+  const auto it = channels_.find(key(node, port));
+  if (it == channels_.end()) {
+    throw sim::SimError("Network::channel_rate: port not connected");
+  }
+  return it->second.params.bits_per_second;
+}
+
+sim::SimTime Network::transmit(NodeId node, PortId port, Frame frame) {
+  const auto it = channels_.find(key(node, port));
+  if (it == channels_.end()) {
+    ++counters_.frames_dropped_no_link;
+    return sim_.now();
+  }
+  Channel& ch = it->second;
+  if (ch.busy_until > sim_.now()) {
+    throw sim::SimError("Network::transmit on busy channel from node " +
+                        nodes_.at(node)->name());
+  }
+  const sim::SimTime ser =
+      serialization_time(frame.occupancy_bytes(), ch.params.bits_per_second);
+  const sim::SimTime tx_done = sim_.now() + ser;
+  const sim::SimTime arrival = tx_done + ch.params.propagation;
+  ch.busy_until = tx_done;
+  ++ch.frames_sent;
+
+  const NodeId peer_node = ch.peer_node;
+  const PortId peer_port = ch.peer_port;
+  const std::size_t wire = frame.wire_bytes();
+  sim_.schedule_at(arrival, [this, peer_node, peer_port, wire,
+                             f = std::move(frame)]() mutable {
+    ++counters_.frames_delivered;
+    counters_.bytes_delivered += wire;
+    nodes_.at(peer_node)->handle_frame(std::move(f), peer_port);
+  });
+  // Tell the sender its channel is free again (fires after the frame's
+  // last bit leaves, before/independent of delivery at the peer).
+  sim_.schedule_at(tx_done, [this, node, port] {
+    nodes_.at(node)->on_channel_idle(port);
+  });
+  return tx_done;
+}
+
+std::optional<std::pair<NodeId, PortId>> Network::peer(NodeId node,
+                                                       PortId port) const {
+  const auto it = channels_.find(key(node, port));
+  if (it == channels_.end()) return std::nullopt;
+  return std::make_pair(it->second.peer_node, it->second.peer_port);
+}
+
+std::vector<std::pair<PortId, NodeId>> Network::ports_of(NodeId node) const {
+  std::vector<std::pair<PortId, NodeId>> out;
+  for (const auto& [k, ch] : channels_) {
+    if ((k >> 16) == node) {
+      out.emplace_back(static_cast<PortId>(k & 0xffff), ch.peer_node);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace steelnet::net

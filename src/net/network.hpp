@@ -1,0 +1,106 @@
+// steelnet::net -- the Network: owns nodes and links, moves frames.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace steelnet::net {
+
+/// Physical characteristics of one link (applied to both directions).
+struct LinkParams {
+  std::uint64_t bits_per_second = 1'000'000'000;  ///< 1 GbE default
+  sim::SimTime propagation = sim::nanoseconds(500);  ///< ~100 m of fiber
+};
+
+/// Aggregate per-network counters.
+struct NetworkCounters {
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_dropped_no_link = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+/// Owns all nodes and the channel (directed-link) table.
+///
+/// Transmission model: each directed channel serializes one frame at a
+/// time (bandwidth), then the frame propagates (fixed delay) and is handed
+/// to the peer's handle_frame. Nodes queue frames themselves (EgressQueue)
+/// and are notified via on_channel_idle when the channel frees up, which
+/// is what lets priority queueing and TSN gates reorder traffic.
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_(sim) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Adds a node; the network takes ownership. Returns its id.
+  template <typename T, typename... Args>
+  T& add_node(std::string name, Args&&... args) {
+    auto node = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *node;
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    node->attach(*this, id, std::move(name));
+    nodes_.push_back(std::move(node));
+    return ref;
+  }
+
+  /// Connects a.port_a <-> b.port_b with symmetric parameters.
+  void connect(NodeId a, PortId port_a, NodeId b, PortId port_b,
+               LinkParams params = {});
+
+  /// True if (node, port) has an attached idle channel.
+  [[nodiscard]] bool channel_idle(NodeId node, PortId port) const;
+  [[nodiscard]] bool has_channel(NodeId node, PortId port) const;
+  /// Channel bit rate of (node, port); throws if not connected.
+  [[nodiscard]] std::uint64_t channel_rate(NodeId node, PortId port) const;
+
+  /// Starts transmitting `frame` out of (node, port).
+  ///
+  /// Precondition: the channel exists and is idle (assert via
+  /// channel_idle); callers are expected to queue otherwise. Returns the
+  /// time at which the channel becomes idle again.
+  sim::SimTime transmit(NodeId node, PortId port, Frame frame);
+
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] const Node& node(NodeId id) const { return *nodes_.at(id); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Peer of (node, port): (peer_node, peer_port), if connected.
+  [[nodiscard]] std::optional<std::pair<NodeId, PortId>> peer(
+      NodeId node, PortId port) const;
+
+  /// All (port, peer) pairs of a node, in port order.
+  [[nodiscard]] std::vector<std::pair<PortId, NodeId>> ports_of(
+      NodeId node) const;
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] const NetworkCounters& counters() const { return counters_; }
+
+ private:
+  struct Channel {
+    NodeId peer_node;
+    PortId peer_port;
+    LinkParams params;
+    sim::SimTime busy_until;
+    std::uint64_t frames_sent = 0;
+  };
+
+  static std::uint64_t key(NodeId node, PortId port) {
+    return (static_cast<std::uint64_t>(node) << 16) | port;
+  }
+
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<std::uint64_t, Channel> channels_;
+  NetworkCounters counters_;
+};
+
+}  // namespace steelnet::net

@@ -1,0 +1,70 @@
+// steelnet::net -- node and gate-controller interfaces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/frame.hpp"
+#include "sim/time.hpp"
+
+namespace steelnet::net {
+
+using NodeId = std::uint32_t;
+using PortId = std::uint16_t;
+
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class Network;
+
+/// A device attached to the network. Subclasses: SwitchNode, HostNode,
+/// TapNode, SdnSwitchNode, ...
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Called by the Network when a frame finishes arriving on `in_port`.
+  virtual void handle_frame(Frame frame, PortId in_port) = 0;
+
+  /// Called when the egress channel of `port` becomes idle and more
+  /// frames may be transmitted. Default: nothing.
+  virtual void on_channel_idle(PortId port) { (void)port; }
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Network& network() const { return *network_; }
+
+ protected:
+  Node() = default;
+
+ private:
+  friend class Network;
+  void attach(Network& net, NodeId id, std::string name) {
+    network_ = &net;
+    id_ = id;
+    name_ = std::move(name);
+  }
+
+  Network* network_ = nullptr;
+  NodeId id_ = kInvalidNode;
+  std::string name_;
+};
+
+/// Transmission gating hook (implemented by the TSN time-aware shaper).
+/// The egress queue consults it before starting a frame.
+class GateController {
+ public:
+  virtual ~GateController() = default;
+
+  /// May a frame of priority `pcp` taking `duration` on the wire start
+  /// transmitting at `now`? (A Qbv shaper also enforces that the gate
+  /// stays open for the whole duration -- no guard-band violations.)
+  [[nodiscard]] virtual bool can_start(std::uint8_t pcp, sim::SimTime now,
+                                       sim::SimTime duration) const = 0;
+
+  /// Earliest time >= now at which can_start(pcp, t, duration) could be
+  /// true. Used to re-arm the queue drain.
+  [[nodiscard]] virtual sim::SimTime next_opportunity(
+      std::uint8_t pcp, sim::SimTime now, sim::SimTime duration) const = 0;
+};
+
+}  // namespace steelnet::net

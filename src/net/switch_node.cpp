@@ -1,0 +1,76 @@
+#include "net/switch_node.hpp"
+
+namespace steelnet::net {
+
+SwitchNode::SwitchNode(SwitchConfig cfg) : cfg_(cfg) {}
+
+EgressQueue& SwitchNode::queue_for(PortId port) {
+  if (egress_.size() <= port) egress_.resize(port + 1u);
+  if (!egress_[port]) {
+    egress_[port] =
+        std::make_unique<EgressQueue>(*this, port, cfg_.queue_capacity);
+  }
+  return *egress_[port];
+}
+
+void SwitchNode::add_fdb_entry(MacAddress mac, PortId out_port) {
+  fdb_[mac.bits()] = out_port;
+}
+
+std::optional<PortId> SwitchNode::lookup(MacAddress mac) const {
+  const auto it = fdb_.find(mac.bits());
+  if (it == fdb_.end()) return std::nullopt;
+  return it->second;
+}
+
+void SwitchNode::set_gate_controller(PortId port, const GateController* gates) {
+  queue_for(port).set_gate_controller(gates);
+}
+
+const EgressCounters& SwitchNode::port_counters(PortId port) const {
+  static const EgressCounters kEmpty{};
+  if (port >= egress_.size() || !egress_[port]) return kEmpty;
+  return egress_[port]->counters();
+}
+
+void SwitchNode::handle_frame(Frame frame, PortId in_port) {
+  ++counters_.frames_in;
+  if (cfg_.mac_learning && !frame.src.is_multicast()) {
+    fdb_[frame.src.bits()] = in_port;
+  }
+
+  // Store-and-forward processing delay, then queue at egress.
+  Frame f = std::move(frame);
+  network().sim().schedule_in(
+      cfg_.processing_delay, [this, f = std::move(f), in_port]() mutable {
+        const auto out = lookup(f.dst);
+        if (out.has_value()) {
+          if (*out == in_port) return;  // would hairpin; drop
+          ++counters_.frames_forwarded;
+          forward(std::move(f), *out);
+          return;
+        }
+        if (f.dst.is_broadcast() || f.dst.is_multicast() ||
+            cfg_.mac_learning) {
+          // Flood to every connected port except ingress.
+          ++counters_.frames_flooded;
+          for (const auto& [port, peer] : network().ports_of(id())) {
+            (void)peer;
+            if (port == in_port) continue;
+            forward(f, port);
+          }
+          return;
+        }
+        ++counters_.frames_dropped_unknown;
+      });
+}
+
+void SwitchNode::forward(Frame frame, PortId out_port) {
+  queue_for(out_port).enqueue(std::move(frame));
+}
+
+void SwitchNode::on_channel_idle(PortId port) {
+  if (port < egress_.size() && egress_[port]) egress_[port]->drain();
+}
+
+}  // namespace steelnet::net

@@ -1,0 +1,62 @@
+// steelnet::net -- a store-and-forward Ethernet switch with 8 strict
+// priority queues per port and optional MAC learning / TSN gating.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/egress_queue.hpp"
+#include "net/node.hpp"
+
+namespace steelnet::net {
+
+struct SwitchConfig {
+  std::size_t num_ports = 8;
+  /// Fixed per-frame processing latency (lookup + crossbar).
+  sim::SimTime processing_delay = sim::nanoseconds(600);
+  /// Per-priority egress queue capacity (frames); 0 = unbounded.
+  std::size_t queue_capacity = 1024;
+  /// Learn source MACs from traffic; unknown unicast floods if true,
+  /// otherwise unknown destinations are dropped.
+  bool mac_learning = true;
+};
+
+struct SwitchCounters {
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_forwarded = 0;
+  std::uint64_t frames_flooded = 0;
+  std::uint64_t frames_dropped_unknown = 0;
+};
+
+class SwitchNode : public Node {
+ public:
+  explicit SwitchNode(SwitchConfig cfg = {});
+
+  void handle_frame(Frame frame, PortId in_port) override;
+  void on_channel_idle(PortId port) override;
+
+  /// Installs a static forwarding entry (used by Topology routing).
+  void add_fdb_entry(MacAddress mac, PortId out_port);
+  [[nodiscard]] std::optional<PortId> lookup(MacAddress mac) const;
+
+  /// Installs a TSN gate controller on one egress port.
+  void set_gate_controller(PortId port, const GateController* gates);
+
+  [[nodiscard]] const SwitchCounters& counters() const { return counters_; }
+  [[nodiscard]] const EgressCounters& port_counters(PortId port) const;
+  [[nodiscard]] const SwitchConfig& config() const { return cfg_; }
+
+ private:
+  EgressQueue& queue_for(PortId port);
+  void forward(Frame frame, PortId out_port);
+
+  SwitchConfig cfg_;
+  std::map<std::uint64_t, PortId> fdb_;
+  std::vector<std::unique_ptr<EgressQueue>> egress_;  // lazily sized
+  SwitchCounters counters_;
+};
+
+}  // namespace steelnet::net

@@ -1,0 +1,96 @@
+// steelnet::plc -- IEC 61131-3 standard function blocks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace steelnet::plc {
+
+/// TON: on-delay timer. Q rises `preset` after IN rises; falls with IN.
+class Ton {
+ public:
+  explicit Ton(sim::SimTime preset) : preset_(preset) {}
+
+  bool update(bool in, sim::SimTime now);
+
+  [[nodiscard]] bool q() const { return q_; }
+  [[nodiscard]] sim::SimTime elapsed(sim::SimTime now) const;
+  [[nodiscard]] sim::SimTime preset() const { return preset_; }
+
+ private:
+  sim::SimTime preset_;
+  sim::SimTime started_;
+  bool running_ = false;
+  bool q_ = false;
+};
+
+/// TOF: off-delay timer. Q falls `preset` after IN falls; rises with IN.
+class Tof {
+ public:
+  explicit Tof(sim::SimTime preset) : preset_(preset) {}
+
+  bool update(bool in, sim::SimTime now);
+  [[nodiscard]] bool q() const { return q_; }
+
+ private:
+  sim::SimTime preset_;
+  sim::SimTime fell_at_;
+  bool prev_in_ = false;
+  bool q_ = false;
+};
+
+/// CTU: up counter with reset. Q when count >= preset.
+class Ctu {
+ public:
+  explicit Ctu(std::uint32_t preset) : preset_(preset) {}
+
+  bool update(bool count, bool reset);
+  [[nodiscard]] std::uint32_t value() const { return value_; }
+  [[nodiscard]] bool q() const { return value_ >= preset_; }
+
+ private:
+  std::uint32_t preset_;
+  std::uint32_t value_ = 0;
+  bool prev_ = false;
+};
+
+/// R_TRIG: rising-edge detector.
+class RTrig {
+ public:
+  bool update(bool in) {
+    const bool q = in && !prev_;
+    prev_ = in;
+    return q;
+  }
+
+ private:
+  bool prev_ = false;
+};
+
+/// Discrete PID with output clamping and anti-windup.
+class Pid {
+ public:
+  struct Gains {
+    double kp = 1.0;
+    double ki = 0.0;
+    double kd = 0.0;
+    double out_min = 0.0;
+    double out_max = 100.0;
+  };
+  explicit Pid(Gains gains) : gains_(gains) {}
+
+  double update(double setpoint, double actual, double dt);
+  void reset();
+
+  [[nodiscard]] double integral() const { return integral_; }
+
+ private:
+  Gains gains_;
+  double integral_ = 0.0;
+  double prev_error_ = 0.0;
+  bool first_ = true;
+};
+
+}  // namespace steelnet::plc

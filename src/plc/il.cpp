@@ -1,0 +1,143 @@
+#include "plc/il.hpp"
+
+#include <stdexcept>
+
+namespace steelnet::plc {
+
+void ProcessImage::load_input_bytes(const std::vector<std::uint8_t>& bytes) {
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const std::size_t byte = i / 8, bit = i % 8;
+    inputs[i] = byte < bytes.size() && ((bytes[byte] >> bit) & 1);
+  }
+}
+
+std::vector<std::uint8_t> ProcessImage::output_bytes(
+    std::size_t n_bytes) const {
+  std::vector<std::uint8_t> bytes(n_bytes, 0);
+  for (std::size_t i = 0; i < outputs.size() && i / 8 < n_bytes; ++i) {
+    if (outputs[i]) bytes[i / 8] |= std::uint8_t(1u << (i % 8));
+  }
+  return bytes;
+}
+
+IlProgram::IlProgram(std::string name, std::vector<IlInsn> insns,
+                     std::size_t image_bits)
+    : name_(std::move(name)), insns_(std::move(insns)) {
+  if (insns_.empty()) throw std::invalid_argument("IL: empty program");
+  std::size_t max_timer = 0, max_counter = 0;
+  bool have_timer = false, have_counter = false;
+  for (const auto& i : insns_) {
+    switch (i.op) {
+      case IlOp::kTon:
+        have_timer = true;
+        max_timer = std::max<std::size_t>(max_timer, i.index);
+        if (i.param <= 0) throw std::invalid_argument("IL: TON needs preset");
+        break;
+      case IlOp::kCtu:
+      case IlOp::kCtuR:
+        have_counter = true;
+        max_counter = std::max<std::size_t>(max_counter, i.index);
+        if (i.op == IlOp::kCtu && i.param <= 0) {
+          throw std::invalid_argument("IL: CTU needs preset");
+        }
+        break;
+      case IlOp::kNot:
+        break;
+      default:
+        if (i.index >= image_bits) {
+          throw std::invalid_argument("IL: bit address out of range");
+        }
+        if (i.area == Area::kTimer || i.area == Area::kCounter) {
+          // LD from T/C areas reads the block's Q.
+          break;
+        }
+        break;
+    }
+    // Writes to the input area are a classic programming error.
+    if ((i.op == IlOp::kSt || i.op == IlOp::kStn || i.op == IlOp::kSet ||
+         i.op == IlOp::kRst) &&
+        i.area == Area::kInput) {
+      throw std::invalid_argument("IL: store to input area");
+    }
+  }
+  if (have_timer) {
+    for (std::size_t t = 0; t <= max_timer; ++t) {
+      // Preset comes from the first kTon insn naming this timer.
+      sim::SimTime preset = sim::milliseconds(1);
+      for (const auto& i : insns_) {
+        if (i.op == IlOp::kTon && i.index == t) {
+          preset = sim::SimTime{i.param};
+          break;
+        }
+      }
+      timers_.emplace_back(preset);
+    }
+  }
+  if (have_counter) {
+    for (std::size_t c = 0; c <= max_counter; ++c) {
+      std::uint32_t preset = 1;
+      for (const auto& i : insns_) {
+        if (i.op == IlOp::kCtu && i.index == c) {
+          preset = static_cast<std::uint32_t>(i.param);
+          break;
+        }
+      }
+      counters_.emplace_back(preset);
+    }
+  }
+}
+
+void IlProgram::scan(ProcessImage& image, sim::SimTime now) {
+  ++scans_;
+  bool acc = false;
+  auto bit = [&](Area area, std::size_t idx) -> bool {
+    switch (area) {
+      case Area::kInput: return image.inputs.at(idx);
+      case Area::kOutput: return image.outputs.at(idx);
+      case Area::kMarker: return image.markers.at(idx);
+      case Area::kTimer: return timers_.at(idx).q();
+      case Area::kCounter: return counters_.at(idx).q();
+    }
+    return false;
+  };
+  auto set_bit = [&](Area area, std::size_t idx, bool v) {
+    switch (area) {
+      case Area::kOutput: image.outputs.at(idx) = v; return;
+      case Area::kMarker: image.markers.at(idx) = v; return;
+      default:
+        throw std::logic_error("IL: store to read-only area");
+    }
+  };
+
+  for (const auto& i : insns_) {
+    switch (i.op) {
+      case IlOp::kLd: acc = bit(i.area, i.index); break;
+      case IlOp::kLdn: acc = !bit(i.area, i.index); break;
+      case IlOp::kAnd: acc = acc && bit(i.area, i.index); break;
+      case IlOp::kAndn: acc = acc && !bit(i.area, i.index); break;
+      case IlOp::kOr: acc = acc || bit(i.area, i.index); break;
+      case IlOp::kOrn: acc = acc || !bit(i.area, i.index); break;
+      case IlOp::kXor: acc = acc != bit(i.area, i.index); break;
+      case IlOp::kNot: acc = !acc; break;
+      case IlOp::kSt: set_bit(i.area, i.index, acc); break;
+      case IlOp::kStn: set_bit(i.area, i.index, !acc); break;
+      case IlOp::kSet:
+        if (acc) set_bit(i.area, i.index, true);
+        break;
+      case IlOp::kRst:
+        if (acc) set_bit(i.area, i.index, false);
+        break;
+      case IlOp::kTon:
+        acc = timers_.at(i.index).update(acc, now);
+        break;
+      case IlOp::kCtu:
+        acc = counters_.at(i.index).update(acc, false);
+        break;
+      case IlOp::kCtuR:
+        if (acc) counters_.at(i.index).update(false, true);
+        break;
+    }
+  }
+}
+
+}  // namespace steelnet::plc

@@ -1,0 +1,89 @@
+// steelnet::plc -- an IEC 61131-3 Instruction List (IL) interpreter.
+//
+// The classic accumulator machine PLC programmers write: LD/AND/OR over
+// bit addresses in the input (I), output (Q) and marker (M) areas, with
+// TON timers and CTU counters as addressable blocks. One `scan()` is one
+// PLC cycle: read-modify the process image exactly as a hardware PLC's
+// program organization unit would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plc/function_blocks.hpp"
+
+namespace steelnet::plc {
+
+/// Addressable bit areas.
+enum class Area : std::uint8_t { kInput, kOutput, kMarker, kTimer, kCounter };
+
+enum class IlOp : std::uint8_t {
+  kLd,    ///< acc = bit
+  kLdn,   ///< acc = !bit
+  kAnd,   ///< acc &= bit
+  kAndn,  ///< acc &= !bit
+  kOr,    ///< acc |= bit
+  kOrn,   ///< acc |= !bit
+  kXor,   ///< acc ^= bit
+  kNot,   ///< acc = !acc
+  kSt,    ///< bit = acc
+  kStn,   ///< bit = !acc
+  kSet,   ///< if (acc) bit = 1
+  kRst,   ///< if (acc) bit = 0
+  kTon,   ///< acc = timer[idx].update(acc); (preset from program)
+  kCtu,   ///< acc = counter[idx].update(count=acc, reset=false)
+  kCtuR,  ///< counter[idx].reset when acc
+};
+
+struct IlInsn {
+  IlOp op;
+  Area area = Area::kMarker;
+  std::uint16_t index = 0;
+  /// TON preset (ns) for kTon at first use; ignored otherwise.
+  std::int64_t param = 0;
+};
+
+/// The process image an IL program operates on.
+struct ProcessImage {
+  std::vector<bool> inputs;   ///< I area
+  std::vector<bool> outputs;  ///< Q area
+  std::vector<bool> markers;  ///< M area
+
+  explicit ProcessImage(std::size_t in = 64, std::size_t out = 64,
+                        std::size_t mem = 64)
+      : inputs(in, false), outputs(out, false), markers(mem, false) {}
+
+  /// Packs output bits into bytes (for the cyclic frame) and unpacks
+  /// input bytes into bits.
+  void load_input_bytes(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] std::vector<std::uint8_t> output_bytes(
+      std::size_t n_bytes) const;
+};
+
+/// A validated IL program plus its timer/counter instances.
+class IlProgram {
+ public:
+  /// Validates addresses/structure; throws std::invalid_argument.
+  IlProgram(std::string name, std::vector<IlInsn> insns,
+            std::size_t image_bits = 64);
+
+  /// Executes one scan against `image` at PLC time `now`.
+  void scan(ProcessImage& image, sim::SimTime now);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return insns_.size(); }
+  [[nodiscard]] std::uint64_t scans() const { return scans_; }
+  [[nodiscard]] const Ctu& counter(std::size_t idx) const {
+    return counters_.at(idx);
+  }
+
+ private:
+  std::string name_;
+  std::vector<IlInsn> insns_;
+  std::vector<Ton> timers_;
+  std::vector<Ctu> counters_;
+  std::uint64_t scans_ = 0;
+};
+
+}  // namespace steelnet::plc

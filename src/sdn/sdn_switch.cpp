@@ -1,0 +1,61 @@
+#include "sdn/sdn_switch.hpp"
+
+namespace steelnet::sdn {
+
+SdnSwitchNode::SdnSwitchNode(SdnSwitchConfig cfg) : cfg_(cfg) {}
+
+net::EgressQueue& SdnSwitchNode::queue_for(net::PortId port) {
+  if (egress_.size() <= port) egress_.resize(port + 1u);
+  if (!egress_[port]) {
+    egress_[port] =
+        std::make_unique<net::EgressQueue>(*this, port, cfg_.queue_capacity);
+  }
+  return *egress_[port];
+}
+
+void SdnSwitchNode::handle_frame(net::Frame frame, net::PortId in_port) {
+  ++counters_.frames_in;
+  if (inspector_) inspector_(frame, in_port);
+  network().sim().schedule_in(
+      cfg_.pipeline_latency,
+      [this, f = std::move(frame), in_port]() mutable {
+        net::Frame frame = std::move(f);
+        const PipelineResult r = pipeline_.process(frame, in_port);
+        if (r.punted) {
+          ++counters_.punted;
+          if (punt_) punt_(frame, in_port);
+        }
+        if (r.dropped) {
+          ++counters_.dropped;
+          return;
+        }
+        for (std::size_t i = 0; i < r.egress.size(); ++i) {
+          ++counters_.frames_out;
+          net::Frame copy =
+              i + 1 == r.egress.size() ? std::move(frame) : frame;
+          if (r.egress[i].dst_override.has_value()) {
+            copy.dst = *r.egress[i].dst_override;
+          }
+          if (r.egress[i].rewrite.has_value()) {
+            const auto& rw = *r.egress[i].rewrite;
+            for (std::size_t b = 0; b < rw.bytes.size(); ++b) {
+              if (rw.offset + b < copy.payload.size()) {
+                copy.payload[rw.offset + b] = rw.bytes[b];
+              }
+            }
+          }
+          queue_for(r.egress[i].port).enqueue(std::move(copy));
+        }
+      });
+}
+
+void SdnSwitchNode::inject(net::Frame frame, net::PortId port) {
+  ++counters_.injected;
+  queue_for(port).enqueue(std::move(frame));
+}
+
+void SdnSwitchNode::on_channel_idle(net::PortId port) {
+  if (port < egress_.size() && egress_[port]) egress_[port]->drain();
+}
+
+}  // namespace steelnet::sdn

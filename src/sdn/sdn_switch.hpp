@@ -1,0 +1,73 @@
+// steelnet::sdn -- the programmable software switch node.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/egress_queue.hpp"
+#include "net/node.hpp"
+#include "sdn/pipeline.hpp"
+
+namespace steelnet::sdn {
+
+struct SdnSwitchConfig {
+  /// Per-frame pipeline traversal latency (SWX software switches run a
+  /// few hundred ns per packet per core).
+  sim::SimTime pipeline_latency = sim::nanoseconds(800);
+  std::size_t queue_capacity = 4096;
+};
+
+struct SdnSwitchCounters {
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t punted = 0;
+  std::uint64_t injected = 0;
+};
+
+/// A switch whose entire forwarding behaviour is its Pipeline.
+///
+/// The control application can: edit tables (via pipeline()), observe
+/// every ingress frame (inspector -- models mirror-to-CPU), receive
+/// punted frames, and inject frames out of any port (in-network endpoint
+/// behaviour, e.g. InstaPLC's digital twin answering a vPLC).
+class SdnSwitchNode final : public net::Node {
+ public:
+  explicit SdnSwitchNode(SdnSwitchConfig cfg = {});
+
+  void handle_frame(net::Frame frame, net::PortId in_port) override;
+  void on_channel_idle(net::PortId port) override;
+
+  [[nodiscard]] Pipeline& pipeline() { return pipeline_; }
+
+  /// Sees every ingress frame before the pipeline runs (read-only spy).
+  void set_inspector(
+      std::function<void(const net::Frame&, net::PortId)> fn) {
+    inspector_ = std::move(fn);
+  }
+  /// Receives a copy of frames whose action list includes kPunt.
+  void set_punt_handler(
+      std::function<void(const net::Frame&, net::PortId)> fn) {
+    punt_ = std::move(fn);
+  }
+
+  /// Emits a control-application-crafted frame out of `port`.
+  void inject(net::Frame frame, net::PortId port);
+
+  [[nodiscard]] const SdnSwitchCounters& counters() const {
+    return counters_;
+  }
+
+ private:
+  net::EgressQueue& queue_for(net::PortId port);
+
+  SdnSwitchConfig cfg_;
+  Pipeline pipeline_;
+  std::vector<std::unique_ptr<net::EgressQueue>> egress_;
+  std::function<void(const net::Frame&, net::PortId)> inspector_;
+  std::function<void(const net::Frame&, net::PortId)> punt_;
+  SdnSwitchCounters counters_;
+};
+
+}  // namespace steelnet::sdn

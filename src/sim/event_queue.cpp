@@ -1,0 +1,43 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace steelnet::sim {
+
+EventHandle EventQueue::schedule(SimTime at, Callback cb) {
+  auto alive = std::make_shared<bool>(true);
+  heap_.push(Entry{at, seq_++, std::move(cb), alive});
+  return EventHandle{std::move(alive)};
+}
+
+void EventQueue::drop_dead_front() {
+  while (!heap_.empty() && !*heap_.top().alive) heap_.pop();
+}
+
+bool EventQueue::pop_next(SimTime& time_out, Callback& cb_out) {
+  drop_dead_front();
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the callback is moved out via a
+  // const_cast, which is safe because the entry is popped immediately.
+  auto& top = const_cast<Entry&>(heap_.top());
+  time_out = top.time;
+  cb_out = std::move(top.cb);
+  heap_.pop();
+  return true;
+}
+
+SimTime EventQueue::next_time() {
+  drop_dead_front();
+  return heap_.empty() ? SimTime::max() : heap_.top().time;
+}
+
+bool EventQueue::empty() {
+  drop_dead_front();
+  return heap_.empty();
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace steelnet::sim

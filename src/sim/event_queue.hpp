@@ -1,0 +1,80 @@
+// steelnet::sim -- the pending-event set of the discrete-event kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace steelnet::sim {
+
+/// Opaque handle used to cancel a scheduled event.
+///
+/// Cancellation is lazy: the event stays in the heap but is skipped when
+/// popped. This keeps scheduling O(log n) with no heap surgery.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the handle refers to an event that has not fired or been
+  /// cancelled yet.
+  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// Min-heap of (time, insertion-sequence) ordered callbacks.
+///
+/// Two events scheduled for the same instant fire in insertion order, which
+/// makes simulations fully deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `at`. Returns a cancellable handle.
+  EventHandle schedule(SimTime at, Callback cb);
+
+  /// Pops the earliest live event. Returns false if the queue is empty
+  /// (after discarding any cancelled events at the front).
+  bool pop_next(SimTime& time_out, Callback& cb_out);
+
+  /// Earliest live event time, or SimTime::max() when empty.
+  [[nodiscard]] SimTime next_time();
+
+  [[nodiscard]] bool empty();
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] std::uint64_t scheduled_total() const { return seq_; }
+
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead_front();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace steelnet::sim

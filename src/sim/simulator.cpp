@@ -1,0 +1,87 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace steelnet::sim {
+
+EventHandle Simulator::schedule_in(SimTime delay, EventQueue::Callback cb) {
+  if (delay < SimTime::zero()) {
+    throw SimError("schedule_in: negative delay " + delay.to_string());
+  }
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+EventHandle Simulator::schedule_at(SimTime at, EventQueue::Callback cb) {
+  if (at < now_) {
+    throw SimError("schedule_at: time " + at.to_string() +
+                   " is in the past (now " + now_.to_string() + ")");
+  }
+  return queue_.schedule(at, std::move(cb));
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (!stop_requested_) {
+    const SimTime next = queue_.next_time();
+    if (next > deadline) break;
+    SimTime t;
+    EventQueue::Callback cb;
+    if (!queue_.pop_next(t, cb)) break;
+    now_ = t;
+    cb();
+    ++executed_;
+    ++n;
+  }
+  // Advance the clock to the deadline when idle -- but a drained queue
+  // under run() (deadline = max) leaves the clock at the last event.
+  if (deadline != SimTime::max() && now_ < deadline && !stop_requested_) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+std::uint64_t Simulator::run() { return run_until(SimTime::max()); }
+
+bool Simulator::step() {
+  SimTime t;
+  EventQueue::Callback cb;
+  if (!queue_.pop_next(t, cb)) return false;
+  now_ = t;
+  cb();
+  ++executed_;
+  return true;
+}
+
+void Simulator::reset() {
+  queue_.clear();
+  now_ = SimTime::zero();
+  executed_ = 0;
+  stop_requested_ = false;
+}
+
+PeriodicTask::PeriodicTask(Simulator& sim, SimTime start, SimTime period,
+                           std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  if (period <= SimTime::zero()) {
+    throw SimError("PeriodicTask: period must be positive");
+  }
+  arm(start);
+}
+
+void PeriodicTask::arm(SimTime at) {
+  next_ = sim_.schedule_at(at, [this] {
+    if (!running_) return;
+    ++fired_;
+    // Re-arm before running the body so the body may call stop().
+    arm(sim_.now() + period_);
+    fn_();
+  });
+}
+
+void PeriodicTask::stop() {
+  running_ = false;
+  next_.cancel();
+}
+
+}  // namespace steelnet::sim

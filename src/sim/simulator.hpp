@@ -1,0 +1,95 @@
+// steelnet::sim -- the discrete-event simulator.
+//
+// Single-threaded, fully deterministic: events at equal times fire in
+// scheduling order, and all randomness flows through explicitly seeded
+// RNG streams (see random.hpp). Identical seeds produce identical traces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace steelnet::sim {
+
+/// Thrown when a component detects a violated simulation invariant
+/// (e.g. scheduling into the past).
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` after `delay` (>= 0) from now.
+  EventHandle schedule_in(SimTime delay, EventQueue::Callback cb);
+
+  /// Schedules `cb` at absolute time `at` (>= now).
+  EventHandle schedule_at(SimTime at, EventQueue::Callback cb);
+
+  /// Runs until the queue drains or `deadline` passes. Events exactly at
+  /// the deadline still fire. Returns the number of events executed.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Runs until the event queue is empty.
+  std::uint64_t run();
+
+  /// Executes at most one event; returns false if none is pending.
+  bool step();
+
+  /// Stops the current run_until/run loop after the in-flight event.
+  void request_stop() { stop_requested_ = true; }
+
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] std::size_t events_pending() { return queue_.size(); }
+
+  /// Resets time to zero and discards all pending events.
+  void reset();
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+/// Repeatedly invokes a callback with a fixed period. The callback may stop
+/// the task; the task owns no resources beyond its pending event.
+class PeriodicTask {
+ public:
+  /// `fn` is called first at `start`, then every `period` until stop().
+  PeriodicTask(Simulator& sim, SimTime start, SimTime period,
+               std::function<void()> fn);
+  ~PeriodicTask() { stop(); }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t fired() const { return fired_; }
+  [[nodiscard]] SimTime period() const { return period_; }
+
+  /// Changes the period, effective from the next firing.
+  void set_period(SimTime period) { period_ = period; }
+
+ private:
+  void arm(SimTime at);
+
+  Simulator& sim_;
+  SimTime period_;
+  std::function<void()> fn_;
+  EventHandle next_;
+  bool running_ = true;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace steelnet::sim

@@ -1,0 +1,23 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace steelnet::sim {
+
+std::string SimTime::to_string() const {
+  char buf[48];
+  const double a = std::abs(static_cast<double>(nanos_));
+  if (a < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(nanos_));
+  } else if (a < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3f us", static_cast<double>(nanos_) / 1e3);
+  } else if (a < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", static_cast<double>(nanos_) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", static_cast<double>(nanos_) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace steelnet::sim

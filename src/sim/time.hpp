@@ -1,0 +1,100 @@
+// steelnet::sim -- simulated time.
+//
+// All simulation time is carried as a strongly typed nanosecond count.
+// A strong type (rather than a bare int64_t) prevents accidentally mixing
+// durations with unrelated integers (cycle counters, byte counts, ...).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace steelnet::sim {
+
+/// A point in simulated time or a duration, in nanoseconds.
+///
+/// SimTime is a regular value type: copyable, comparable, hashable.
+/// Arithmetic is closed over SimTime (time + duration = time); scaling by
+/// an integral factor is provided for building schedules.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t nanos) : nanos_(nanos) {}
+
+  [[nodiscard]] constexpr std::int64_t nanos() const { return nanos_; }
+  [[nodiscard]] constexpr double micros() const {
+    return static_cast<double>(nanos_) / 1e3;
+  }
+  [[nodiscard]] constexpr double millis() const {
+    return static_cast<double>(nanos_) / 1e6;
+  }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(nanos_) / 1e9;
+  }
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime rhs) {
+    nanos_ += rhs.nanos_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime rhs) {
+    nanos_ -= rhs.nanos_;
+    return *this;
+  }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.nanos_ + b.nanos_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.nanos_ - b.nanos_};
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime{a.nanos_ * k};
+  }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) {
+    return SimTime{a.nanos_ * k};
+  }
+  /// Integer division: how many whole `b` periods fit in `a`.
+  friend constexpr std::int64_t operator/(SimTime a, SimTime b) {
+    return a.nanos_ / b.nanos_;
+  }
+  friend constexpr SimTime operator%(SimTime a, SimTime b) {
+    return SimTime{a.nanos_ % b.nanos_};
+  }
+
+  /// Human-readable rendering with an adaptive unit, e.g. "1.500 ms".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+constexpr SimTime nanoseconds(std::int64_t n) { return SimTime{n}; }
+constexpr SimTime microseconds(std::int64_t n) { return SimTime{n * 1'000}; }
+constexpr SimTime milliseconds(std::int64_t n) {
+  return SimTime{n * 1'000'000};
+}
+constexpr SimTime seconds(std::int64_t n) { return SimTime{n * 1'000'000'000}; }
+
+namespace literals {
+constexpr SimTime operator""_ns(unsigned long long n) {
+  return SimTime{static_cast<std::int64_t>(n)};
+}
+constexpr SimTime operator""_us(unsigned long long n) {
+  return microseconds(static_cast<std::int64_t>(n));
+}
+constexpr SimTime operator""_ms(unsigned long long n) {
+  return milliseconds(static_cast<std::int64_t>(n));
+}
+constexpr SimTime operator""_s(unsigned long long n) {
+  return seconds(static_cast<std::int64_t>(n));
+}
+}  // namespace literals
+
+}  // namespace steelnet::sim

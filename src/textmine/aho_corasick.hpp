@@ -1,0 +1,66 @@
+// steelnet::textmine -- Aho-Corasick multi-pattern string matching.
+//
+// Fig. 1 of the paper counts occurrences of ~40 terminology patterns
+// (with permutations) across four proceedings' worth of full text; a
+// single automaton pass per document is the right tool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace steelnet::textmine {
+
+struct Match {
+  std::size_t position;  ///< byte offset of the first matched character
+  std::size_t length;
+  std::uint32_t pattern_id;
+};
+
+/// Case-insensitive Aho-Corasick automaton over bytes.
+///
+/// Usage: add_pattern() for each pattern, build(), then find_all() any
+/// number of times. Adding after build() throws.
+class AhoCorasick {
+ public:
+  AhoCorasick() = default;
+
+  /// Registers a pattern; returns nothing (the caller supplies the id).
+  /// Empty patterns are rejected.
+  void add_pattern(std::string_view pattern, std::uint32_t id);
+
+  /// Constructs goto/fail/output links. Idempotent.
+  void build();
+
+  /// All matches (including overlapping ones), in position order.
+  [[nodiscard]] std::vector<Match> find_all(std::string_view text) const;
+
+  /// Matches that start and end on word boundaries (the neighbouring
+  /// characters, if any, are not alphanumeric). "plc" does not match
+  /// inside "vplc".
+  [[nodiscard]] std::vector<Match> find_words(std::string_view text) const;
+
+  [[nodiscard]] std::size_t pattern_count() const { return patterns_; }
+  [[nodiscard]] bool built() const { return built_; }
+
+ private:
+  struct NodeOut {
+    std::uint32_t pattern_id;
+    std::uint32_t length;
+  };
+  struct Node {
+    std::vector<std::pair<unsigned char, std::int32_t>> next;
+    std::int32_t fail = 0;
+    std::vector<NodeOut> outputs;
+  };
+
+  [[nodiscard]] std::int32_t child(std::int32_t node, unsigned char c) const;
+  std::int32_t force_child(std::int32_t node, unsigned char c);
+
+  std::vector<Node> nodes_{1};
+  std::size_t patterns_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace steelnet::textmine

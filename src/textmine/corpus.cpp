@@ -1,0 +1,80 @@
+#include "textmine/corpus.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "textmine/terms.hpp"
+
+namespace steelnet::textmine {
+
+std::vector<std::uint64_t> fig1_published_counts() {
+  // Fig. 1, top to bottom: vPLC, Industry 4.0/5.0, IIoT, PLC, Industrial
+  // Informatic, Cyber Physical System, IT/OT, Industrial Network,
+  // PROFINET/EtherCAT/TSN, MQTT/OPC UA/VXLAN, Datacenter, Internet,
+  // TCP/UDP/IPv4/IPv6.
+  return {0, 1, 1, 2, 4, 6, 7, 14, 17, 21, 1943, 2289, 3005};
+}
+
+namespace {
+
+// Background vocabulary shaped like systems/networking prose. None of
+// these words collide with a Fig. 1 pattern (tests assert this).
+constexpr std::array<const char*, 64> kVocab = {
+    "the",        "a",           "we",         "our",      "this",
+    "paper",      "propose",     "design",     "evaluate", "measure",
+    "throughput", "latency",     "bandwidth",  "packet",   "flow",
+    "congestion", "control",     "protocol",   "routing",  "switch",
+    "server",     "host",        "kernel",     "stack",    "transport",
+    "topology",   "scheduling",  "queue",      "buffer",   "loss",
+    "fairness",   "scalable",    "distributed","system",   "network",
+    "traffic",    "workload",    "cluster",    "tenant",   "virtual",
+    "machine",    "container",   "service",    "cloud",    "edge",
+    "link",       "path",        "failure",    "recovery", "telemetry",
+    "measurement","deployment",  "hardware",   "software", "interface",
+    "abstraction","performance", "overhead",   "baseline", "benchmark",
+    "experiment", "evaluation",  "results",    "analysis"};
+
+}  // namespace
+
+std::vector<std::string> generate_corpus(
+    const CorpusSpec& spec, const std::vector<std::uint64_t>& target_counts) {
+  const auto groups = fig1_term_groups();
+  if (target_counts.size() != groups.size()) {
+    throw std::invalid_argument("generate_corpus: count/group mismatch");
+  }
+
+  sim::Rng rng{spec.seed};
+
+  // Background prose.
+  std::vector<std::string> docs;
+  docs.reserve(spec.documents);
+  for (std::size_t d = 0; d < spec.documents; ++d) {
+    std::string doc;
+    doc.reserve(spec.words_per_document * 8);
+    for (std::size_t w = 0; w < spec.words_per_document; ++w) {
+      doc += kVocab[std::size_t(
+          rng.uniform_int(0, std::int64_t(kVocab.size()) - 1))];
+      doc += (w + 1) % 18 == 0 ? ". " : " ";
+    }
+    docs.push_back(std::move(doc));
+  }
+
+  // Inject each group's occurrences: random document, random permutation
+  // spelling, appended as sentences (word boundaries guaranteed by the
+  // surrounding spaces).
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const auto& patterns = groups[g].patterns;
+    for (std::uint64_t k = 0; k < target_counts[g]; ++k) {
+      auto& doc = docs[std::size_t(
+          rng.uniform_int(0, std::int64_t(docs.size()) - 1))];
+      const auto& spelling = patterns[std::size_t(
+          rng.uniform_int(0, std::int64_t(patterns.size()) - 1))];
+      doc += "we discuss ";
+      doc += spelling;
+      doc += " here. ";
+    }
+  }
+  return docs;
+}
+
+}  // namespace steelnet::textmine

@@ -1,0 +1,38 @@
+// steelnet::textmine -- a synthetic proceedings corpus.
+//
+// We cannot redistribute the ACM full texts the paper scanned (SIGCOMM
+// '22/'23, HotNets '22/'23), so the Fig. 1 reproduction runs the real
+// mining pipeline over a synthetic corpus whose term-occurrence rates
+// are calibrated to the published counts (see DESIGN.md, substitution
+// table). The corpus generator is deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace steelnet::textmine {
+
+struct CorpusSpec {
+  /// Four venues' full papers: SIGCOMM 22/23 + HotNets 22/23 ~ 250 docs.
+  std::size_t documents = 250;
+  /// Background words per document (full-paper scale).
+  std::size_t words_per_document = 6000;
+  std::uint64_t seed = 20251117;  // HotNets'25 opening day
+};
+
+/// Target injection counts per Fig. 1 group, in fig1_term_groups() order.
+/// Defaults are the counts the paper reports.
+[[nodiscard]] std::vector<std::uint64_t> fig1_published_counts();
+
+/// Generates the corpus: networking-paper background prose with term
+/// occurrences injected to hit `target_counts` (spread pseudo-randomly
+/// over documents and permutation spellings).
+[[nodiscard]] std::vector<std::string> generate_corpus(
+    const CorpusSpec& spec,
+    const std::vector<std::uint64_t>& target_counts =
+        fig1_published_counts());
+
+}  // namespace steelnet::textmine

@@ -1,0 +1,124 @@
+#include "textmine/terms.hpp"
+
+#include <algorithm>
+
+namespace steelnet::textmine {
+
+std::vector<std::string> expand_permutations(
+    const std::vector<std::string>& parts,
+    const std::vector<std::string>& separators) {
+  std::vector<std::string> order(parts);
+  std::sort(order.begin(), order.end());
+  std::vector<std::string> out;
+  do {
+    for (const auto& sep : separators) {
+      std::string s;
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        if (i != 0) s += sep;
+        s += order[i];
+      }
+      out.push_back(s);
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return out;
+}
+
+std::vector<TermGroup> fig1_term_groups() {
+  std::vector<TermGroup> groups;
+
+  groups.push_back({"vPLC",
+                    {"vplc", "vplcs", "virtual plc", "virtual plcs",
+                     "virtualized plc",
+                     "virtual programmable logic controller"}});
+
+  groups.push_back({"Industry 4.0/5.0",
+                    {"industry 4.0", "industry 5.0", "industrie 4.0",
+                     "industry 4", "industry 5",
+                     "fourth industrial revolution"}});
+
+  groups.push_back({"IIoT",
+                    {"iiot", "industrial iot",
+                     "industrial internet of things"}});
+
+  groups.push_back({"PLC",
+                    {"plc", "plcs", "programmable logic controller",
+                     "programmable logic controllers"}});
+
+  groups.push_back({"Industrial Informatic",
+                    {"industrial informatic", "industrial informatics"}});
+
+  groups.push_back({"Cyber Physical System",
+                    {"cyber physical system", "cyber-physical system",
+                     "cyber physical systems", "cyber-physical systems"}});
+
+  TermGroup itot{"IT/OT", expand_permutations({"it", "ot"}, {"/", "-"})};
+  itot.patterns.push_back("it/ot convergence");
+  itot.patterns.push_back("ot/it convergence");
+  groups.push_back(std::move(itot));
+
+  groups.push_back({"Industrial Network",
+                    {"industrial network", "industrial networks",
+                     "industrial control network",
+                     "industrial control networks"}});
+
+  groups.push_back({"PROFINET/EtherCAT/TSN",
+                    {"profinet", "ethercat", "tsn",
+                     "time sensitive networking",
+                     "time-sensitive networking"}});
+
+  groups.push_back({"MQTT/OPC UA/VXLAN",
+                    {"mqtt", "opc ua", "opc-ua", "opcua", "vxlan"}});
+
+  groups.push_back({"Datacenter",
+                    {"datacenter", "datacenters", "data center",
+                     "data centers", "data-center", "data-centers"}});
+
+  groups.push_back({"Internet", {"internet"}});
+
+  groups.push_back({"TCP/UDP/IPv4/IPv6",
+                    {"tcp", "udp", "ipv4", "ipv6"}});
+
+  return groups;
+}
+
+std::vector<TermCount> count_terms(const std::vector<TermGroup>& groups,
+                                   const std::vector<std::string>& documents) {
+  // One automaton over all patterns; pattern_id encodes the group.
+  AhoCorasick ac;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const auto& p : groups[g].patterns) {
+      ac.add_pattern(p, static_cast<std::uint32_t>(g));
+    }
+  }
+  ac.build();
+
+  std::vector<TermCount> counts;
+  counts.reserve(groups.size());
+  for (const auto& g : groups) counts.push_back({g.name, 0});
+
+  for (const auto& doc : documents) {
+    const auto matches = ac.find_words(doc);
+    // Longest-match de-duplication: a match strictly contained in a
+    // longer one is shadowed, within AND across groups -- "data centers"
+    // counts once (not also as "data center"), and the "internet" inside
+    // "industrial internet of things" belongs to IIoT, not Internet.
+    for (std::size_t i = 0; i < matches.size(); ++i) {
+      const Match& m = matches[i];
+      bool shadowed = false;
+      for (const Match& other : matches) {
+        if (&other == &m) continue;
+        // `other` shadows `m` if it covers it strictly.
+        if (other.position <= m.position &&
+            other.position + other.length >= m.position + m.length &&
+            other.length > m.length) {
+          shadowed = true;
+          break;
+        }
+      }
+      if (!shadowed) ++counts[m.pattern_id].count;
+    }
+  }
+  return counts;
+}
+
+}  // namespace steelnet::textmine

@@ -1,0 +1,41 @@
+// steelnet::textmine -- the Fig. 1 terminology groups with permutations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "textmine/aho_corasick.hpp"
+
+namespace steelnet::textmine {
+
+/// One bar of Fig. 1: a display name plus all spelling permutations that
+/// count toward it.
+struct TermGroup {
+  std::string name;
+  std::vector<std::string> patterns;
+};
+
+/// Expands compound terms: permutations of `parts` joined by each
+/// separator -- e.g. ({"IT","OT"}, {"/","-"}) -> it/ot, ot/it, it-ot,
+/// ot-it. Works for 2 or 3 parts.
+[[nodiscard]] std::vector<std::string> expand_permutations(
+    const std::vector<std::string>& parts,
+    const std::vector<std::string>& separators);
+
+/// The 13 groups of Fig. 1, in the paper's order (top-to-bottom:
+/// vPLC ... TCP/UDP/IPv4/IPv6).
+[[nodiscard]] std::vector<TermGroup> fig1_term_groups();
+
+struct TermCount {
+  std::string name;
+  std::uint64_t count = 0;
+};
+
+/// Counts word-boundary occurrences of every group over `documents`.
+/// Results are in group order (same as the input).
+[[nodiscard]] std::vector<TermCount> count_terms(
+    const std::vector<TermGroup>& groups,
+    const std::vector<std::string>& documents);
+
+}  // namespace steelnet::textmine

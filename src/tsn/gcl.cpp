@@ -1,0 +1,101 @@
+#include "tsn/gcl.hpp"
+
+#include <stdexcept>
+
+namespace steelnet::tsn {
+
+GateControlList::GateControlList(std::vector<GateEntry> entries,
+                                 sim::SimTime base_offset)
+    : entries_(std::move(entries)), base_offset_(base_offset) {
+  if (entries_.empty()) {
+    throw std::invalid_argument("GateControlList: no entries");
+  }
+  sim::SimTime total = sim::SimTime::zero();
+  for (const auto& e : entries_) {
+    if (e.duration <= sim::SimTime::zero()) {
+      throw std::invalid_argument("GateControlList: non-positive duration");
+    }
+    starts_.push_back(total);
+    total += e.duration;
+  }
+  cycle_ = total;
+}
+
+sim::SimTime GateControlList::phase(sim::SimTime t) const {
+  sim::SimTime p = (t - base_offset_) % cycle_;
+  if (p < sim::SimTime::zero()) p += cycle_;
+  return p;
+}
+
+std::pair<std::size_t, sim::SimTime> GateControlList::locate(
+    sim::SimTime p) const {
+  // Linear scan: GCLs in practice have a handful of entries.
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    if (p >= starts_[i]) return {i, p - starts_[i]};
+  }
+  return {0, p};
+}
+
+bool GateControlList::gate_open(std::uint8_t pcp, sim::SimTime t) const {
+  const auto [idx, off] = locate(phase(t));
+  (void)off;
+  return (entries_[idx].gate_mask >> (pcp & 7)) & 1;
+}
+
+sim::SimTime GateControlList::open_run_from(std::uint8_t pcp,
+                                            sim::SimTime t) const {
+  if (!gate_open(pcp, t)) return sim::SimTime::zero();
+  auto [idx, off] = locate(phase(t));
+  sim::SimTime run = entries_[idx].duration - off;
+  // Extend across consecutive open entries, at most one full cycle.
+  std::size_t i = (idx + 1) % entries_.size();
+  while (run < cycle_ && ((entries_[i].gate_mask >> (pcp & 7)) & 1)) {
+    run += entries_[i].duration;
+    i = (i + 1) % entries_.size();
+    if (i == (idx + 1) % entries_.size() && run >= cycle_) break;
+  }
+  return run < cycle_ ? run : cycle_;
+}
+
+bool GateControlList::can_start(std::uint8_t pcp, sim::SimTime now,
+                                sim::SimTime duration) const {
+  return open_run_from(pcp, now) >= duration;
+}
+
+sim::SimTime GateControlList::next_opportunity(std::uint8_t pcp,
+                                               sim::SimTime now,
+                                               sim::SimTime duration) const {
+  // Scan entry boundaries over the next two cycles; the answer, if one
+  // exists, is `now` itself or some entry start.
+  if (can_start(pcp, now, duration)) return now;
+  const sim::SimTime p = phase(now);
+  const sim::SimTime cycle_start = now - p;
+  for (int c = 0; c < 2; ++c) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const sim::SimTime cand =
+          cycle_start + cycle_ * c + starts_[i];
+      if (cand <= now) continue;
+      if (can_start(pcp, cand, duration)) return cand;
+    }
+  }
+  // Gate never opens long enough for this frame: report "one cycle out"
+  // so the caller re-checks rather than spinning; the frame is
+  // effectively unschedulable.
+  return now + cycle_;
+}
+
+GateControlList make_protected_window_gcl(sim::SimTime cycle,
+                                          sim::SimTime rt_window,
+                                          std::uint8_t rt_pcp,
+                                          sim::SimTime base_offset) {
+  if (rt_window >= cycle) {
+    throw std::invalid_argument("protected window must be < cycle");
+  }
+  std::vector<GateEntry> entries{
+      {rt_window, gates_at_or_above(rt_pcp)},
+      {cycle - rt_window, kAllGatesOpen},
+  };
+  return GateControlList{std::move(entries), base_offset};
+}
+
+}  // namespace steelnet::tsn

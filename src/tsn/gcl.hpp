@@ -1,0 +1,77 @@
+// steelnet::tsn -- IEEE 802.1Qbv time-aware shaping.
+//
+// A GateControlList divides a repeating cycle into entries; each entry
+// opens a subset of the eight priority gates. A frame may start only if
+// its gate stays open for the frame's entire wire time (the implicit
+// guard band), which is what gives scheduled traffic exclusive windows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/node.hpp"
+#include "sim/time.hpp"
+
+namespace steelnet::tsn {
+
+/// One row of a gate control list.
+struct GateEntry {
+  sim::SimTime duration;
+  std::uint8_t gate_mask;  ///< bit i set = priority-i gate open
+};
+
+constexpr std::uint8_t kAllGatesOpen = 0xff;
+
+/// Gate mask with only priorities >= `pcp` open.
+[[nodiscard]] constexpr std::uint8_t gates_at_or_above(std::uint8_t pcp) {
+  return static_cast<std::uint8_t>(0xff << pcp);
+}
+
+class GateControlList final : public net::GateController {
+ public:
+  /// `entries` must be non-empty with positive durations; the cycle time
+  /// is their sum. `base_offset` shifts the cycle origin (all switches in
+  /// a TSN domain share a synchronized epoch).
+  GateControlList(std::vector<GateEntry> entries,
+                  sim::SimTime base_offset = sim::SimTime::zero());
+
+  [[nodiscard]] bool can_start(std::uint8_t pcp, sim::SimTime now,
+                               sim::SimTime duration) const override;
+  [[nodiscard]] sim::SimTime next_opportunity(
+      std::uint8_t pcp, sim::SimTime now,
+      sim::SimTime duration) const override;
+
+  [[nodiscard]] sim::SimTime cycle_time() const { return cycle_; }
+  [[nodiscard]] const std::vector<GateEntry>& entries() const {
+    return entries_;
+  }
+
+  /// True if the priority-`pcp` gate is open at instant `t`.
+  [[nodiscard]] bool gate_open(std::uint8_t pcp, sim::SimTime t) const;
+
+  /// Length of the contiguous open window for `pcp` starting at `t`
+  /// (zero if the gate is closed at `t`); capped at one cycle.
+  [[nodiscard]] sim::SimTime open_run_from(std::uint8_t pcp,
+                                           sim::SimTime t) const;
+
+ private:
+  /// Position of instant `t` within the cycle.
+  [[nodiscard]] sim::SimTime phase(sim::SimTime t) const;
+  /// Index of the entry active at cycle-phase `p`, plus offset within it.
+  [[nodiscard]] std::pair<std::size_t, sim::SimTime> locate(
+      sim::SimTime p) const;
+
+  std::vector<GateEntry> entries_;
+  std::vector<sim::SimTime> starts_;  ///< entry start phases (prefix sums)
+  sim::SimTime cycle_;
+  sim::SimTime base_offset_;
+};
+
+/// Convenience: a two-entry GCL giving priorities >= `rt_pcp` an exclusive
+/// window of `rt_window` at the start of every `cycle`, with the remainder
+/// open to everything (a "protected window" schedule).
+[[nodiscard]] GateControlList make_protected_window_gcl(
+    sim::SimTime cycle, sim::SimTime rt_window, std::uint8_t rt_pcp = 6,
+    sim::SimTime base_offset = sim::SimTime::zero());
+
+}  // namespace steelnet::tsn

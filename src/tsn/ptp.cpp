@@ -1,0 +1,52 @@
+#include "tsn/ptp.hpp"
+
+#include <stdexcept>
+
+namespace steelnet::tsn {
+
+PtpClock::PtpClock(PtpConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+  if (cfg_.sync_interval <= sim::SimTime::zero()) {
+    throw std::invalid_argument("PtpClock: sync interval must be positive");
+  }
+  // Initial servo state: one residual sample plus the asymmetry bias.
+  offset_at_sync_ =
+      sim::SimTime{static_cast<std::int64_t>(
+          rng_.normal(0.0, double(cfg_.servo_noise.nanos())))} +
+      cfg_.path_asymmetry;
+}
+
+void PtpClock::advance_to(sim::SimTime t) {
+  while (last_sync_ + cfg_.sync_interval <= t) {
+    last_sync_ += cfg_.sync_interval;
+    offset_at_sync_ =
+        sim::SimTime{static_cast<std::int64_t>(
+            rng_.normal(0.0, double(cfg_.servo_noise.nanos())))} +
+        cfg_.path_asymmetry;
+  }
+}
+
+sim::SimTime PtpClock::offset_at(sim::SimTime t) const {
+  const sim::SimTime since_sync = t - last_sync_;
+  const auto drift_ns = static_cast<std::int64_t>(
+      cfg_.drift_ppb * double(since_sync.nanos()) / 1e9);
+  return offset_at_sync_ + sim::SimTime{drift_ns};
+}
+
+sim::SimTime PtpClock::read(sim::SimTime t) const {
+  return t + offset_at(t);
+}
+
+QuantizedTimestamper::QuantizedTimestamper(sim::SimTime resolution)
+    : resolution_(resolution) {
+  if (resolution <= sim::SimTime::zero()) {
+    throw std::invalid_argument("QuantizedTimestamper: bad resolution");
+  }
+}
+
+sim::SimTime QuantizedTimestamper::stamp(sim::SimTime t) const {
+  return sim::SimTime{(t.nanos() / resolution_.nanos()) *
+                      resolution_.nanos()};
+}
+
+}  // namespace steelnet::tsn

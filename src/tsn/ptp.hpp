@@ -1,0 +1,65 @@
+// steelnet::tsn -- a PTP (IEEE 1588) clock-synchronization error model.
+//
+// The paper's Traffic Reflection methodology exists precisely because
+// two-clock measurements inherit PTP's residual error: sub-microsecond in
+// the best case, but degraded by asymmetric path delays and network
+// inconsistencies (§3). This model quantifies that error so the
+// single-clock-TAP ablation can show what a naive setup would measure.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace steelnet::tsn {
+
+struct PtpConfig {
+  /// Interval between sync message exchanges.
+  sim::SimTime sync_interval = sim::milliseconds(125);
+  /// Local oscillator frequency error, parts per billion (drift between
+  /// syncs accumulates as drift_ppb * elapsed / 1e9).
+  double drift_ppb = 10.0;
+  /// Std-dev of the residual offset right after a servo update.
+  sim::SimTime servo_noise = sim::nanoseconds(30);
+  /// Constant error from asymmetric forward/reverse path delays; PTP
+  /// cannot observe this, so it biases every timestamp.
+  sim::SimTime path_asymmetry = sim::nanoseconds(0);
+};
+
+/// A slave clock disciplined to the (perfect) simulation grandmaster.
+class PtpClock {
+ public:
+  PtpClock(PtpConfig cfg, std::uint64_t seed);
+
+  /// Local reading of true time `t`. Monotonic in t between syncs.
+  [[nodiscard]] sim::SimTime read(sim::SimTime t) const;
+
+  /// Current offset (local - true) at true time `t`.
+  [[nodiscard]] sim::SimTime offset_at(sim::SimTime t) const;
+
+  /// Advances the servo through all sync points up to `t`. Call with
+  /// non-decreasing times.
+  void advance_to(sim::SimTime t);
+
+  [[nodiscard]] const PtpConfig& config() const { return cfg_; }
+
+ private:
+  PtpConfig cfg_;
+  sim::Rng rng_;
+  sim::SimTime last_sync_ = sim::SimTime::zero();
+  sim::SimTime offset_at_sync_ = sim::SimTime::zero();
+};
+
+/// The TAP's own quantized timestamping (8 ns in the paper's hardware).
+class QuantizedTimestamper {
+ public:
+  explicit QuantizedTimestamper(sim::SimTime resolution);
+  [[nodiscard]] sim::SimTime stamp(sim::SimTime t) const;
+  [[nodiscard]] sim::SimTime resolution() const { return resolution_; }
+
+ private:
+  sim::SimTime resolution_;
+};
+
+}  // namespace steelnet::tsn

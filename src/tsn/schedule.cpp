@@ -1,0 +1,157 @@
+#include "tsn/schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "net/frame.hpp"
+
+namespace steelnet::tsn {
+
+namespace {
+
+std::int64_t lcm64(std::int64_t a, std::int64_t b) {
+  return a / std::gcd(a, b) * b;
+}
+
+/// Half-open interval [start, end) on a port, modulo hyperperiod.
+struct Window {
+  std::int64_t start;
+  std::int64_t end;
+};
+
+bool overlaps(const Window& a, const Window& b) {
+  return a.start < b.end && b.start < a.end;
+}
+
+}  // namespace
+
+std::optional<FlowSchedule> ScheduleResult::find(std::uint64_t flow_id) const {
+  for (const auto& f : flows) {
+    if (f.flow_id == flow_id) return f;
+  }
+  return std::nullopt;
+}
+
+ScheduleResult schedule_flows(const std::vector<FlowSpec>& flows,
+                              const SchedulerConfig& cfg) {
+  ScheduleResult result;
+  if (flows.empty()) {
+    result.hyperperiod = sim::SimTime::zero();
+    return result;
+  }
+  for (const auto& f : flows) {
+    if (f.period <= sim::SimTime::zero()) {
+      throw std::invalid_argument("schedule_flows: non-positive period");
+    }
+    if (f.path.empty()) {
+      throw std::invalid_argument("schedule_flows: empty path");
+    }
+  }
+
+  std::int64_t hyper = 1;
+  for (const auto& f : flows) hyper = lcm64(hyper, f.period.nanos());
+  result.hyperperiod = sim::SimTime{hyper};
+
+  // Rate-monotonic placement order (stable by flow id).
+  std::vector<const FlowSpec*> order;
+  order.reserve(flows.size());
+  for (const auto& f : flows) order.push_back(&f);
+  std::sort(order.begin(), order.end(), [](const FlowSpec* a,
+                                           const FlowSpec* b) {
+    if (a->period != b->period) return a->period < b->period;
+    return a->flow_id < b->flow_id;
+  });
+
+  // Reserved windows per port, expanded over the hyperperiod.
+  std::map<std::uint64_t, std::vector<Window>> busy;
+
+  for (const FlowSpec* f : order) {
+    const sim::SimTime wire =
+        net::serialization_time(f->frame_bytes, cfg.link_bits_per_second);
+    const std::int64_t reps = hyper / f->period.nanos();
+    const std::int64_t step = std::max<std::int64_t>(
+        cfg.granularity.nanos(), 1);
+
+    bool placed = false;
+    for (std::int64_t offset = 0; offset + wire.nanos() <= f->period.nanos();
+         offset += step) {
+      bool ok = true;
+      for (std::int64_t k = 0; ok && k < reps; ++k) {
+        std::int64_t t = offset + k * f->period.nanos();
+        for (std::size_t h = 0; ok && h < f->path.size(); ++h) {
+          const std::int64_t hop_start =
+              t + static_cast<std::int64_t>(h) * cfg.hop_latency.nanos();
+          const Window w{hop_start % hyper,
+                         hop_start % hyper + wire.nanos()};
+          for (const Window& existing : busy[f->path[h]]) {
+            // Compare both the window and its wrap-around image.
+            Window w2 = w;
+            if (overlaps(existing, w2) ||
+                overlaps(existing, Window{w2.start - hyper, w2.end - hyper}) ||
+                overlaps(existing, Window{w2.start + hyper, w2.end + hyper})) {
+              ok = false;
+              break;
+            }
+          }
+        }
+      }
+      if (!ok) continue;
+
+      // Commit.
+      for (std::int64_t k = 0; k < reps; ++k) {
+        const std::int64_t t = offset + k * f->period.nanos();
+        for (std::size_t h = 0; h < f->path.size(); ++h) {
+          const std::int64_t hop_start =
+              t + static_cast<std::int64_t>(h) * cfg.hop_latency.nanos();
+          const std::int64_t s = hop_start % hyper;
+          busy[f->path[h]].push_back(Window{s, s + wire.nanos()});
+          result.reservations.push_back(PortReservation{
+              f->path[h], sim::SimTime{s}, sim::SimTime{s + wire.nanos()},
+              f->flow_id});
+        }
+      }
+      result.flows.push_back(
+          FlowSchedule{f->flow_id, sim::SimTime{offset}, f->period, wire});
+      placed = true;
+      break;
+    }
+    if (!placed) result.unschedulable.push_back(f->flow_id);
+  }
+
+  std::sort(result.flows.begin(), result.flows.end(),
+            [](const FlowSchedule& a, const FlowSchedule& b) {
+              return a.flow_id < b.flow_id;
+            });
+  return result;
+}
+
+std::optional<std::string> validate_schedule(const ScheduleResult& result) {
+  std::map<std::uint64_t, std::vector<Window>> per_port;
+  for (const auto& r : result.reservations) {
+    per_port[r.port_key].push_back(Window{r.start.nanos(), r.end.nanos()});
+  }
+  for (auto& [port, windows] : per_port) {
+    std::sort(windows.begin(), windows.end(),
+              [](const Window& a, const Window& b) {
+                return a.start < b.start;
+              });
+    for (std::size_t i = 1; i < windows.size(); ++i) {
+      if (windows[i].start < windows[i - 1].end) {
+        return "overlap on port " + std::to_string(port) + " at " +
+               std::to_string(windows[i].start) + " ns";
+      }
+    }
+    // Wrap-around: last window vs first window of the next hyperperiod.
+    if (windows.size() >= 2 && result.hyperperiod > sim::SimTime::zero()) {
+      if (windows.back().end > result.hyperperiod.nanos() &&
+          windows.back().end - result.hyperperiod.nanos() >
+              windows.front().start) {
+        return "wrap-around overlap on port " + std::to_string(port);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace steelnet::tsn

@@ -1,0 +1,77 @@
+// steelnet::tsn -- no-wait schedule synthesis for periodic flows.
+//
+// TSN lets operators run "arbitrary scheduling algorithms that define
+// pre-computed transmission schedules for pre-defined flows" (§1.1).
+// This synthesizer implements the classic no-wait heuristic: each flow
+// gets a per-period start offset such that its frame's transmission
+// window never collides with another scheduled frame on any shared port.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace steelnet::tsn {
+
+/// A pre-defined periodic flow to be scheduled.
+struct FlowSpec {
+  std::uint64_t flow_id = 0;
+  sim::SimTime period;
+  std::size_t frame_bytes = 64;  ///< wire bytes incl. overhead
+  /// Ports the frame traverses, in order. Port identity is opaque to the
+  /// scheduler -- callers typically encode (switch_id << 16) | port.
+  std::vector<std::uint64_t> path;
+  std::uint8_t pcp = 7;
+};
+
+/// A scheduled flow: transmission starts at offset + k * period.
+struct FlowSchedule {
+  std::uint64_t flow_id = 0;
+  sim::SimTime offset;
+  sim::SimTime period;
+  sim::SimTime wire_time;  ///< per-hop transmission duration
+};
+
+/// A reserved window on one port, repeating every `hyperperiod`.
+struct PortReservation {
+  std::uint64_t port_key = 0;
+  sim::SimTime start;
+  sim::SimTime end;
+  std::uint64_t flow_id = 0;
+};
+
+struct ScheduleResult {
+  std::vector<FlowSchedule> flows;
+  std::vector<PortReservation> reservations;
+  sim::SimTime hyperperiod;
+  /// Flows that could not be placed (over-subscribed ports).
+  std::vector<std::uint64_t> unschedulable;
+
+  [[nodiscard]] std::optional<FlowSchedule> find(std::uint64_t flow_id) const;
+};
+
+struct SchedulerConfig {
+  std::uint64_t link_bits_per_second = 1'000'000'000;
+  /// Per-hop forwarding latency between a frame's windows on successive
+  /// ports (switch processing + propagation).
+  sim::SimTime hop_latency = sim::nanoseconds(1'100);
+  /// Offset search granularity. Smaller = tighter packing, slower search.
+  sim::SimTime granularity = sim::microseconds(1);
+};
+
+/// Greedy no-wait scheduler. Flows are placed shortest-period-first
+/// (rate-monotonic order); within each flow the smallest feasible offset
+/// wins, so results are deterministic.
+ScheduleResult schedule_flows(const std::vector<FlowSpec>& flows,
+                              const SchedulerConfig& cfg = {});
+
+/// Validates a result: no two reservations on the same port overlap when
+/// expanded over the hyperperiod. Returns a human-readable error or
+/// nullopt if consistent. (Used by tests and as a post-synthesis check.)
+std::optional<std::string> validate_schedule(const ScheduleResult& result);
+
+}  // namespace steelnet::tsn

@@ -1,0 +1,66 @@
+#include "ebpf/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace steelnet::ebpf {
+namespace {
+
+TEST(Assembler, BuildsSimpleProgram) {
+  Assembler a("t");
+  a.mov_imm(0, 2).exit();
+  const auto p = a.finish();
+  EXPECT_EQ(p.name, "t");
+  ASSERT_EQ(p.insns.size(), 2u);
+  EXPECT_EQ(p.insns[0].op, Op::kMovImm);
+  EXPECT_EQ(p.insns[1].op, Op::kExit);
+}
+
+TEST(Assembler, RetIsMovPlusExit) {
+  Assembler a("t");
+  a.ret(XdpVerdict::kTx);
+  const auto p = a.finish();
+  ASSERT_EQ(p.insns.size(), 2u);
+  EXPECT_EQ(p.insns[0].imm, 3);
+}
+
+TEST(Assembler, ForwardLabelResolved) {
+  Assembler a("t");
+  a.mov_imm(2, 5);
+  a.jeq_imm(2, 5, "done");
+  a.mov_imm(2, 0);
+  a.label("done");
+  a.ret(XdpVerdict::kPass);
+  const auto p = a.finish();
+  // jeq at index 1 targets index 3 -> off = 3 - 1 - 1 = 1.
+  EXPECT_EQ(p.insns[1].off, 1);
+}
+
+TEST(Assembler, UndefinedLabelThrows) {
+  Assembler a("t");
+  a.ja("nowhere");
+  a.exit();
+  EXPECT_THROW(a.finish(), std::runtime_error);
+}
+
+TEST(Assembler, DuplicateLabelThrows) {
+  Assembler a("t");
+  a.label("x");
+  EXPECT_THROW(a.label("x"), std::runtime_error);
+}
+
+TEST(Assembler, JumpToImmediateNextInsnHasZeroOffset) {
+  Assembler a("t");
+  a.ja("next");
+  a.label("next");
+  a.ret(XdpVerdict::kPass);
+  const auto p = a.finish();
+  EXPECT_EQ(p.insns[0].off, 0);
+}
+
+TEST(Assembler, DisassembleIsReadable) {
+  const Insn i{Op::kMovImm, 3, 0, 0, 42};
+  EXPECT_EQ(disassemble(i), "mov_imm dst=r3 src=r0 off=0 imm=42");
+}
+
+}  // namespace
+}  // namespace steelnet::ebpf

@@ -1,0 +1,103 @@
+#include "ebpf/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ebpf/programs.hpp"
+#include "ebpf/verifier.hpp"
+#include "ebpf/vm.hpp"
+#include "sim/stats.hpp"
+
+namespace steelnet::ebpf {
+namespace {
+
+net::Frame small_frame() {
+  net::Frame f;
+  f.payload.assign(32, 0);
+  return f;
+}
+
+sim::SampleSet run_many(ReflectorVariant v, CostParams costs,
+                        std::size_t flows, int n, std::uint64_t seed = 1) {
+  auto p = make_reflector(v);
+  verify_or_throw(p);
+  Vm vm(std::move(p), costs, seed);
+  vm.cost_model().set_concurrent_flows(flows);
+  sim::SampleSet out;
+  for (int i = 0; i < n; ++i) {
+    auto f = small_frame();
+    const auto r = vm.run(f, sim::SimTime::zero());
+    out.add(double(r.exec_time.nanos()));
+    vm.ringbuf().drain();
+  }
+  return out;
+}
+
+TEST(CostModel, DeterministicParamsRemoveVariance) {
+  const auto costs = CostModel::deterministic(CostParams{});
+  const auto s = run_many(ReflectorVariant::kTsRb, costs, 1, 1000);
+  EXPECT_EQ(s.min(), s.max());
+}
+
+TEST(CostModel, VariantOrderingBaseCheapestRingBufDearest) {
+  const CostParams costs{};
+  const double base =
+      run_many(ReflectorVariant::kBase, costs, 1, 4000).mean();
+  const double ts = run_many(ReflectorVariant::kTs, costs, 1, 4000).mean();
+  const double tsts =
+      run_many(ReflectorVariant::kTsTs, costs, 1, 4000).mean();
+  const double tsrb =
+      run_many(ReflectorVariant::kTsRb, costs, 1, 4000).mean();
+  EXPECT_LT(base, ts);
+  EXPECT_LT(ts, tsts);
+  EXPECT_LT(tsts, tsrb);
+}
+
+TEST(CostModel, RingBufVariantsHaveWiderSpread) {
+  const CostParams costs{};
+  const auto no_rb = run_many(ReflectorVariant::kTsTs, costs, 1, 8000);
+  const auto rb = run_many(ReflectorVariant::kTsRb, costs, 1, 8000);
+  const double spread_no_rb = no_rb.percentile(99) - no_rb.percentile(50);
+  const double spread_rb = rb.percentile(99) - rb.percentile(50);
+  EXPECT_GT(spread_rb, spread_no_rb);
+}
+
+TEST(CostModel, MoreFlowsMoreJitter) {
+  const CostParams costs{};
+  const auto one = run_many(ReflectorVariant::kBase, costs, 1, 8000);
+  const auto many = run_many(ReflectorVariant::kBase, costs, 25, 8000);
+  sim::SampleSet j1, j25;
+  for (double d : one.successive_differences()) j1.add(d);
+  for (double d : many.successive_differences()) j25.add(d);
+  EXPECT_GT(j25.percentile(90), j1.percentile(90) * 2);
+}
+
+TEST(CostModel, FlowsClampToAtLeastOne) {
+  CostModel m(CostParams{}, 1);
+  m.set_concurrent_flows(0);
+  EXPECT_EQ(m.concurrent_flows(), 1u);
+}
+
+TEST(CostModel, EnvironmentNoiseNonNegative) {
+  CostModel m(CostParams{}, 7);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(m.environment_noise(), 0.0);
+}
+
+TEST(CostModel, CallInsnItselfFree) {
+  CostModel m(CostParams{}, 1);
+  EXPECT_EQ(m.insn_cost(Insn{Op::kCall, 0, 0, 0,
+                             std::int64_t(HelperId::kKtimeGetNs)}),
+            0.0);
+}
+
+TEST(CostModel, SameSeedSameCosts) {
+  const CostParams costs{};
+  const auto a = run_many(ReflectorVariant::kTsRb, costs, 5, 500, 99);
+  const auto b = run_many(ReflectorVariant::kTsRb, costs, 5, 500, 99);
+  ASSERT_EQ(a.count(), b.count());
+  for (std::size_t i = 0; i < a.raw().size(); ++i) {
+    EXPECT_EQ(a.raw()[i], b.raw()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace steelnet::ebpf

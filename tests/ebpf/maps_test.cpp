@@ -1,0 +1,92 @@
+#include "ebpf/maps.hpp"
+
+#include <gtest/gtest.h>
+
+namespace steelnet::ebpf {
+namespace {
+
+TEST(HashMap, LookupMissIsZero) {
+  HashMap m;
+  EXPECT_EQ(m.lookup(42), 0u);
+  EXPECT_FALSE(m.contains(42));
+}
+
+TEST(HashMap, UpdateAndLookup) {
+  HashMap m;
+  EXPECT_TRUE(m.update(1, 100));
+  EXPECT_TRUE(m.update(2, 200));
+  EXPECT_EQ(m.lookup(1), 100u);
+  EXPECT_EQ(m.lookup(2), 200u);
+  EXPECT_TRUE(m.update(1, 111));  // overwrite
+  EXPECT_EQ(m.lookup(1), 111u);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(HashMap, CapacityEnforcedForNewKeysOnly) {
+  HashMap m(2);
+  EXPECT_TRUE(m.update(1, 1));
+  EXPECT_TRUE(m.update(2, 2));
+  EXPECT_FALSE(m.update(3, 3));   // full
+  EXPECT_TRUE(m.update(1, 99));   // existing key still updatable
+  EXPECT_EQ(m.lookup(3), 0u);
+}
+
+TEST(HashMap, Erase) {
+  HashMap m;
+  m.update(5, 50);
+  EXPECT_TRUE(m.erase(5));
+  EXPECT_FALSE(m.erase(5));
+  EXPECT_EQ(m.lookup(5), 0u);
+}
+
+TEST(HashMap, ZeroCapacityRejected) {
+  EXPECT_THROW(HashMap(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, OutputAndPopFifo) {
+  RingBuffer rb(1024);
+  const std::uint8_t a[4] = {1, 2, 3, 4};
+  const std::uint8_t b[2] = {9, 8};
+  EXPECT_TRUE(rb.output(a, 4));
+  EXPECT_TRUE(rb.output(b, 2));
+  EXPECT_EQ(rb.produced(), 2u);
+  auto r1 = rb.pop();
+  EXPECT_EQ(r1.data, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  auto r2 = rb.pop();
+  EXPECT_EQ(r2.data, (std::vector<std::uint8_t>{9, 8}));
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, DropsWhenFull) {
+  RingBuffer rb(32);  // fits two 8B records (8B header each)
+  const std::uint8_t d[8] = {};
+  EXPECT_TRUE(rb.output(d, 8));
+  EXPECT_TRUE(rb.output(d, 8));
+  EXPECT_FALSE(rb.output(d, 8));
+  EXPECT_EQ(rb.dropped(), 1u);
+  rb.pop();
+  EXPECT_TRUE(rb.output(d, 8));  // space reclaimed
+}
+
+TEST(RingBuffer, DrainEmptiesAndFreesSpace) {
+  RingBuffer rb(32);
+  const std::uint8_t d[8] = {};
+  rb.output(d, 8);
+  rb.output(d, 8);
+  rb.drain();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.used_bytes(), 0u);
+  EXPECT_TRUE(rb.output(d, 8));
+}
+
+TEST(RingBuffer, PopEmptyThrows) {
+  RingBuffer rb(64);
+  EXPECT_THROW(rb.pop(), std::logic_error);
+}
+
+TEST(RingBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW(RingBuffer(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace steelnet::ebpf

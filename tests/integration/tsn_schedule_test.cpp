@@ -1,0 +1,128 @@
+// Integration: the no-wait schedule synthesizer drives real traffic.
+// Flows transmitted at their computed offsets through a shared port
+// never queue behind each other -- every frame's latency equals the
+// uncontended path latency, cycle after cycle.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+
+#include "net/host_node.hpp"
+#include "net/switch_node.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "tsn/schedule.hpp"
+
+namespace steelnet {
+namespace {
+
+using namespace steelnet::sim::literals;
+
+TEST(TsnScheduleIntegration, ScheduledFlowsNeverQueue) {
+  // Four senders, one receiver, all crossing the same egress port.
+  sim::Simulator simulator;
+  net::Network network{simulator};
+  net::SwitchConfig cfg;
+  cfg.mac_learning = false;
+  cfg.processing_delay = 600_ns;
+  auto& sw = network.add_node<net::SwitchNode>("sw", cfg);
+  auto& rx = network.add_node<net::HostNode>("rx", net::MacAddress{0x99});
+  network.connect(rx.id(), 0, sw.id(), 0);
+  sw.add_fdb_entry(rx.mac(), 0);
+
+  constexpr std::size_t kFlows = 4;
+  std::vector<net::HostNode*> senders;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    auto& h = network.add_node<net::HostNode>("tx" + std::to_string(i),
+                                              net::MacAddress{i + 1});
+    network.connect(h.id(), 0, sw.id(), static_cast<net::PortId>(i + 1));
+    senders.push_back(&h);
+  }
+
+  // Schedule all four flows over the shared egress port (key 0).
+  std::vector<tsn::FlowSpec> specs;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    tsn::FlowSpec f;
+    f.flow_id = i;
+    f.period = i % 2 == 0 ? 1_ms : 2_ms;
+    f.frame_bytes = 84;
+    f.path = {0};
+    specs.push_back(f);
+  }
+  tsn::SchedulerConfig scfg;
+  scfg.granularity = 10_us;
+  const auto schedule = tsn::schedule_flows(specs, scfg);
+  ASSERT_TRUE(schedule.unschedulable.empty());
+  ASSERT_FALSE(tsn::validate_schedule(schedule).has_value());
+
+  // Drive each flow at its computed offset; collect per-flow latency.
+  std::array<sim::SampleSet, kFlows> latency_ns;
+  rx.set_receiver([&](net::Frame f, sim::SimTime at) {
+    latency_ns[f.flow_id].add(double((at - f.created_at).nanos()));
+  });
+  std::vector<std::unique_ptr<sim::PeriodicTask>> tasks;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    const auto sched = schedule.find(i);
+    ASSERT_TRUE(sched.has_value());
+    tasks.push_back(std::make_unique<sim::PeriodicTask>(
+        simulator, sched->offset, sched->period, [&, i] {
+          net::Frame f;
+          f.dst = rx.mac();
+          f.pcp = 7;
+          f.flow_id = i;
+          f.payload.resize(46);
+          senders[i]->send(std::move(f));
+        }));
+  }
+  simulator.run_until(500_ms);
+
+  // No-wait property: every frame of every flow sees the identical,
+  // minimal latency (zero queueing variance).
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    ASSERT_GT(latency_ns[i].count(), 100u) << "flow " << i;
+    EXPECT_EQ(latency_ns[i].min(), latency_ns[i].max())
+        << "flow " << i << " experienced queueing";
+  }
+}
+
+TEST(TsnScheduleIntegration, UnscheduledSameFlowsDoQueue) {
+  // Control: the same four flows all transmitting at offset 0 collide at
+  // the shared port and see variable latency -- proving the offsets (not
+  // luck) produced the flat profile above.
+  sim::Simulator simulator;
+  net::Network network{simulator};
+  net::SwitchConfig cfg;
+  cfg.mac_learning = false;
+  auto& sw = network.add_node<net::SwitchNode>("sw", cfg);
+  auto& rx = network.add_node<net::HostNode>("rx", net::MacAddress{0x99});
+  network.connect(rx.id(), 0, sw.id(), 0);
+  sw.add_fdb_entry(rx.mac(), 0);
+
+  sim::SampleSet latency_ns;
+  rx.set_receiver([&](net::Frame f, sim::SimTime at) {
+    latency_ns.add(double((at - f.created_at).nanos()));
+  });
+  std::vector<std::unique_ptr<sim::PeriodicTask>> tasks;
+  std::vector<net::HostNode*> senders;
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto& h = network.add_node<net::HostNode>("tx" + std::to_string(i),
+                                              net::MacAddress{i + 1});
+    network.connect(h.id(), 0, sw.id(), static_cast<net::PortId>(i + 1));
+    senders.push_back(&h);
+    tasks.push_back(std::make_unique<sim::PeriodicTask>(
+        simulator, 0_ns, 1_ms, [&, i] {
+          net::Frame f;
+          f.dst = rx.mac();
+          f.pcp = 7;
+          f.flow_id = i;
+          f.payload.resize(46);
+          senders[i]->send(std::move(f));
+        }));
+  }
+  simulator.run_until(100_ms);
+  EXPECT_GT(latency_ns.max(), latency_ns.min())
+      << "expected head-of-line queueing without a schedule";
+}
+
+}  // namespace
+}  // namespace steelnet

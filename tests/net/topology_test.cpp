@@ -1,0 +1,130 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace steelnet::net {
+namespace {
+
+using namespace steelnet::sim::literals;
+
+struct PingResult {
+  int delivered = 0;
+  sim::SimTime last_rx;
+};
+
+PingResult ping(Fabric& f, std::size_t src, std::size_t dst) {
+  PingResult r;
+  f.host(dst).set_receiver([&](Frame, sim::SimTime at) {
+    ++r.delivered;
+    r.last_rx = at;
+  });
+  Frame frame;
+  frame.dst = f.host(dst).mac();
+  frame.payload.resize(46);
+  f.host(src).send(std::move(frame));
+  f.net->sim().run();
+  return r;
+}
+
+TEST(Topology, StarAllPairsReachable) {
+  sim::Simulator sim;
+  Network net{sim};
+  auto f = build_star(net, 4);
+  install_shortest_path_routes(f);
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (std::size_t d = 0; d < 4; ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(ping(f, s, d).delivered, 1) << s << "->" << d;
+    }
+  }
+}
+
+TEST(Topology, LineEndToEnd) {
+  sim::Simulator sim;
+  Network net{sim};
+  auto f = build_line(net, 5, 1);
+  install_shortest_path_routes(f);
+  EXPECT_EQ(f.hosts.size(), 5u);
+  EXPECT_EQ(f.switches.size(), 5u);
+  EXPECT_EQ(ping(f, 0, 4).delivered, 1);
+  EXPECT_EQ(route_hops(f, 0, 4), 5);
+  EXPECT_EQ(route_hops(f, 0, 1), 2);
+}
+
+TEST(Topology, RingUsesShortSide) {
+  sim::Simulator sim;
+  Network net{sim};
+  auto f = build_ring(net, 6, 1);
+  install_shortest_path_routes(f);
+  EXPECT_EQ(ping(f, 0, 1).delivered, 1);
+  EXPECT_EQ(route_hops(f, 0, 1), 2);
+  // Host 0 to host 5: one hop around the back, not five forward.
+  EXPECT_EQ(route_hops(f, 0, 5), 2);
+  // Opposite side of a 6-ring: 4 switches either way... 0->3 = 3 hops + 1.
+  EXPECT_EQ(route_hops(f, 0, 3), 4);
+}
+
+TEST(Topology, RingRejectsTooSmall) {
+  sim::Simulator sim;
+  Network net{sim};
+  EXPECT_THROW(build_ring(net, 2, 1), std::invalid_argument);
+}
+
+TEST(Topology, LeafSpineTwoHopsAcrossLeaves) {
+  sim::Simulator sim;
+  Network net{sim};
+  auto f = build_leaf_spine(net, 2, 3, 2);
+  install_shortest_path_routes(f);
+  EXPECT_EQ(f.hosts.size(), 6u);
+  EXPECT_EQ(f.switches.size(), 5u);
+  // Same leaf: 1 switch. Cross leaf: leaf-spine-leaf = 3 switches.
+  EXPECT_EQ(route_hops(f, 0, 1), 1);
+  EXPECT_EQ(route_hops(f, 0, 2), 3);
+  EXPECT_EQ(ping(f, 0, 5).delivered, 1);
+}
+
+TEST(Topology, TreeReachability) {
+  sim::Simulator sim;
+  Network net{sim};
+  auto f = build_tree(net, 3, 2, 2);  // 1+2+4 switches, 8 hosts
+  install_shortest_path_routes(f);
+  EXPECT_EQ(f.switches.size(), 7u);
+  EXPECT_EQ(f.hosts.size(), 8u);
+  EXPECT_EQ(ping(f, 0, 7).delivered, 1);
+  // Hosts on the same leaf: 1 switch.
+  EXPECT_EQ(route_hops(f, 0, 1), 1);
+  // Hosts across the root: up 2, root, down 2 = 5 switches.
+  EXPECT_EQ(route_hops(f, 0, 7), 5);
+}
+
+TEST(Topology, AllPairsOnLeafSpine) {
+  sim::Simulator sim;
+  Network net{sim};
+  auto f = build_leaf_spine(net, 2, 2, 2);
+  install_shortest_path_routes(f);
+  for (std::size_t s = 0; s < f.host_count(); ++s) {
+    for (std::size_t d = 0; d < f.host_count(); ++d) {
+      if (s == d) continue;
+      EXPECT_GT(route_hops(f, s, d), 0) << s << "->" << d;
+    }
+  }
+}
+
+TEST(Topology, HostMacsAreUniqueAndLocal) {
+  EXPECT_NE(host_mac(0), host_mac(1));
+  EXPECT_FALSE(host_mac(7).is_multicast());
+  EXPECT_EQ(host_mac(3).bits() & 0x0200'0000'0000ULL, 0x0200'0000'0000ULL);
+}
+
+TEST(Topology, RouteHopsUnreachableIsMinusOne) {
+  sim::Simulator sim;
+  Network net{sim};
+  auto f = build_star(net, 2);
+  // No routes installed: lookup fails.
+  EXPECT_EQ(route_hops(f, 0, 1), -1);
+}
+
+}  // namespace
+}  // namespace steelnet::net

@@ -1,0 +1,187 @@
+#include "plc/il.hpp"
+
+#include <gtest/gtest.h>
+
+namespace steelnet::plc {
+namespace {
+
+using namespace steelnet::sim::literals;
+
+TEST(ProcessImage, ByteBitConversion) {
+  ProcessImage img(16, 16, 16);
+  img.load_input_bytes({0b1010'0001, 0xff});
+  EXPECT_TRUE(img.inputs[0]);
+  EXPECT_FALSE(img.inputs[1]);
+  EXPECT_TRUE(img.inputs[5]);
+  EXPECT_TRUE(img.inputs[7]);
+  EXPECT_TRUE(img.inputs[8]);
+  img.outputs[0] = true;
+  img.outputs[9] = true;
+  const auto bytes = img.output_bytes(2);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[1], 0x02);
+}
+
+TEST(ProcessImage, ShortInputBytesZeroFill) {
+  ProcessImage img(16, 16, 16);
+  img.inputs[12] = true;
+  img.load_input_bytes({0x01});
+  EXPECT_TRUE(img.inputs[0]);
+  EXPECT_FALSE(img.inputs[12]);  // beyond provided bytes -> false
+}
+
+TEST(IlProgram, AndOrLogic) {
+  // Q0 = (I0 AND I1) OR I2
+  IlProgram p("logic", {
+      {IlOp::kLd, Area::kInput, 0},
+      {IlOp::kAnd, Area::kInput, 1},
+      {IlOp::kOr, Area::kInput, 2},
+      {IlOp::kSt, Area::kOutput, 0},
+  });
+  ProcessImage img;
+  const auto run = [&](bool a, bool b, bool c) {
+    img.inputs[0] = a;
+    img.inputs[1] = b;
+    img.inputs[2] = c;
+    p.scan(img, 0_ms);
+    return img.outputs[0];
+  };
+  EXPECT_FALSE(run(false, false, false));
+  EXPECT_FALSE(run(true, false, false));
+  EXPECT_TRUE(run(true, true, false));
+  EXPECT_TRUE(run(false, false, true));
+}
+
+TEST(IlProgram, NegatedLoadsAndStores) {
+  // Q0 = NOT I0; Q1 = I0 AND NOT I1
+  IlProgram p("neg", {
+      {IlOp::kLdn, Area::kInput, 0},
+      {IlOp::kSt, Area::kOutput, 0},
+      {IlOp::kLd, Area::kInput, 0},
+      {IlOp::kAndn, Area::kInput, 1},
+      {IlOp::kSt, Area::kOutput, 1},
+  });
+  ProcessImage img;
+  img.inputs[0] = true;
+  img.inputs[1] = false;
+  p.scan(img, 0_ms);
+  EXPECT_FALSE(img.outputs[0]);
+  EXPECT_TRUE(img.outputs[1]);
+}
+
+TEST(IlProgram, SetResetLatch) {
+  // Classic start/stop latch: SET Q0 when I0, RST Q0 when I1.
+  IlProgram p("latch", {
+      {IlOp::kLd, Area::kInput, 0},
+      {IlOp::kSet, Area::kOutput, 0},
+      {IlOp::kLd, Area::kInput, 1},
+      {IlOp::kRst, Area::kOutput, 0},
+  });
+  ProcessImage img;
+  img.inputs[0] = true;
+  p.scan(img, 0_ms);
+  EXPECT_TRUE(img.outputs[0]);
+  img.inputs[0] = false;
+  p.scan(img, 0_ms);
+  EXPECT_TRUE(img.outputs[0]);  // latched
+  img.inputs[1] = true;
+  p.scan(img, 0_ms);
+  EXPECT_FALSE(img.outputs[0]);
+}
+
+TEST(IlProgram, TimerDelaysOutput) {
+  // Q0 = TON(I0, 10ms)
+  IlProgram p("timer", {
+      {IlOp::kLd, Area::kInput, 0},
+      {IlOp::kTon, Area::kTimer, 0, (10_ms).nanos()},
+      {IlOp::kSt, Area::kOutput, 0},
+  });
+  ProcessImage img;
+  img.inputs[0] = true;
+  p.scan(img, 0_ms);
+  EXPECT_FALSE(img.outputs[0]);
+  p.scan(img, 5_ms);
+  EXPECT_FALSE(img.outputs[0]);
+  p.scan(img, 10_ms);
+  EXPECT_TRUE(img.outputs[0]);
+}
+
+TEST(IlProgram, CounterCountsScans) {
+  // CTU on rising edges of I0, preset 2; Q0 = counter done.
+  IlProgram p("count", {
+      {IlOp::kLd, Area::kInput, 0},
+      {IlOp::kCtu, Area::kCounter, 0, 2},
+      {IlOp::kSt, Area::kOutput, 0},
+  });
+  ProcessImage img;
+  img.inputs[0] = true;
+  p.scan(img, 0_ms);
+  EXPECT_FALSE(img.outputs[0]);
+  img.inputs[0] = false;
+  p.scan(img, 1_ms);
+  img.inputs[0] = true;
+  p.scan(img, 2_ms);
+  EXPECT_TRUE(img.outputs[0]);
+  EXPECT_EQ(p.counter(0).value(), 2u);
+}
+
+TEST(IlProgram, MarkersPersistAcrossScans) {
+  // M0 latches I0; Q0 = M0.
+  IlProgram p("marker", {
+      {IlOp::kLd, Area::kInput, 0},
+      {IlOp::kSet, Area::kMarker, 0},
+      {IlOp::kLd, Area::kMarker, 0},
+      {IlOp::kSt, Area::kOutput, 0},
+  });
+  ProcessImage img;
+  img.inputs[0] = true;
+  p.scan(img, 0_ms);
+  img.inputs[0] = false;
+  p.scan(img, 1_ms);
+  EXPECT_TRUE(img.outputs[0]);
+}
+
+TEST(IlProgram, ValidationRejectsBadPrograms) {
+  EXPECT_THROW(IlProgram("empty", {}), std::invalid_argument);
+  EXPECT_THROW(IlProgram("store-to-input",
+                         {{IlOp::kLd, Area::kInput, 0},
+                          {IlOp::kSt, Area::kInput, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(IlProgram("oob", {{IlOp::kLd, Area::kInput, 999}}),
+               std::invalid_argument);
+  EXPECT_THROW(IlProgram("ton-no-preset",
+                         {{IlOp::kLd, Area::kInput, 0},
+                          {IlOp::kTon, Area::kTimer, 0, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(IlProgram("ctu-no-preset",
+                         {{IlOp::kLd, Area::kInput, 0},
+                          {IlOp::kCtu, Area::kCounter, 0, 0}}),
+               std::invalid_argument);
+}
+
+TEST(IlProgram, ScanCountTracked) {
+  IlProgram p("count-scans", {{IlOp::kLd, Area::kInput, 0},
+                              {IlOp::kSt, Area::kOutput, 0}});
+  ProcessImage img;
+  for (int i = 0; i < 5; ++i) p.scan(img, 1_ms * i);
+  EXPECT_EQ(p.scans(), 5u);
+}
+
+TEST(IlProgram, XorOperation) {
+  IlProgram p("xor", {
+      {IlOp::kLd, Area::kInput, 0},
+      {IlOp::kXor, Area::kInput, 1},
+      {IlOp::kSt, Area::kOutput, 0},
+  });
+  ProcessImage img;
+  img.inputs[0] = true;
+  img.inputs[1] = true;
+  p.scan(img, 0_ms);
+  EXPECT_FALSE(img.outputs[0]);
+  img.inputs[1] = false;
+  p.scan(img, 0_ms);
+  EXPECT_TRUE(img.outputs[0]);
+}
+
+}  // namespace
+}  // namespace steelnet::plc

@@ -1,0 +1,92 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace steelnet::sim {
+namespace {
+
+using namespace steelnet::sim::literals;
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30_ns, [&] { order.push_back(3); });
+  q.schedule(10_ns, [&] { order.push_back(1); });
+  q.schedule(20_ns, [&] { order.push_back(2); });
+
+  SimTime t;
+  EventQueue::Callback cb;
+  while (q.pop_next(t, cb)) cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5_ns, [&order, i] { order.push_back(i); });
+  }
+  SimTime t;
+  EventQueue::Callback cb;
+  while (q.pop_next(t, cb)) cb();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[size_t(i)], i);
+}
+
+TEST(EventQueue, CancelledEventsAreSkipped) {
+  EventQueue q;
+  bool fired = false;
+  auto h = q.schedule(1_ns, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+
+  SimTime t;
+  EventQueue::Callback cb;
+  EXPECT_FALSE(q.pop_next(t, cb));
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  auto h = q.schedule(1_ns, [] {});
+  q.schedule(9_ns, [] {});
+  h.cancel();
+  EXPECT_EQ(q.next_time(), 9_ns);
+}
+
+TEST(EventQueue, EmptyQueueReportsMaxTime) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), SimTime::max());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, HandleOutlivesQueueSafely) {
+  EventHandle h;
+  {
+    EventQueue q;
+    h = q.schedule(1_ns, [] {});
+  }
+  // Queue destroyed; handle must not dangle.
+  EXPECT_TRUE(h.pending());  // never fired, never cancelled
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, DefaultHandleNotPending) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op, must not crash
+}
+
+TEST(EventQueue, ClearDiscardsAll) {
+  EventQueue q;
+  q.schedule(1_ns, [] {});
+  q.schedule(2_ns, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace steelnet::sim

@@ -1,0 +1,57 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace steelnet::sim {
+namespace {
+
+using namespace steelnet::sim::literals;
+
+TEST(SimTime, LiteralsAndConversions) {
+  EXPECT_EQ((1_us).nanos(), 1'000);
+  EXPECT_EQ((1_ms).nanos(), 1'000'000);
+  EXPECT_EQ((1_s).nanos(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ((1500_ns).micros(), 1.5);
+  EXPECT_DOUBLE_EQ((2500_us).millis(), 2.5);
+  EXPECT_DOUBLE_EQ((1500_ms).seconds(), 1.5);
+}
+
+TEST(SimTime, Arithmetic) {
+  EXPECT_EQ(1_ms + 500_us, 1500_us);
+  EXPECT_EQ(1_ms - 1_us, 999_us);
+  EXPECT_EQ(2_us * 3, 6_us);
+  EXPECT_EQ(3 * 2_us, 6_us);
+  EXPECT_EQ(10_ms / 3_ms, 3);
+  EXPECT_EQ(10_ms % 3_ms, 1_ms);
+}
+
+TEST(SimTime, Comparison) {
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_LE(2_us, 2_us);
+  EXPECT_GT(1_ms, 999_us);
+  EXPECT_EQ(SimTime::zero(), 0_ns);
+  EXPECT_LT(1_s, SimTime::max());
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = 1_ms;
+  t += 500_us;
+  EXPECT_EQ(t, 1500_us);
+  t -= 1_ms;
+  EXPECT_EQ(t, 500_us);
+}
+
+TEST(SimTime, ToStringPicksUnit) {
+  EXPECT_EQ((42_ns).to_string(), "42 ns");
+  EXPECT_EQ((1500_ns).to_string(), "1.500 us");
+  EXPECT_EQ((2500_us).to_string(), "2.500 ms");
+  EXPECT_EQ((1500_ms).to_string(), "1.500 s");
+}
+
+TEST(SimTime, DefaultIsZero) {
+  SimTime t;
+  EXPECT_EQ(t, SimTime::zero());
+}
+
+}  // namespace
+}  // namespace steelnet::sim

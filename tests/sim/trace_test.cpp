@@ -1,0 +1,52 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace steelnet::sim {
+namespace {
+
+using namespace steelnet::sim::literals;
+
+TEST(Trace, RecordsInOrder) {
+  Trace t;
+  t.emit(1_ns, "a", "x");
+  t.emit(2_ns, "b", "y");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.records()[0].key, "a");
+  EXPECT_EQ(t.records()[1].value, "y");
+}
+
+TEST(Trace, FilterByKey) {
+  Trace t;
+  t.emit(1_ns, "tx", "1");
+  t.emit(2_ns, "rx", "1");
+  t.emit(3_ns, "tx", "2");
+  const auto tx = t.filter("tx");
+  ASSERT_EQ(tx.size(), 2u);
+  EXPECT_EQ(tx[1].value, "2");
+}
+
+TEST(Trace, CsvFormat) {
+  Trace t;
+  t.emit(1500_ns, "k", "v");
+  EXPECT_EQ(t.to_csv(), "1500,k,v\n");
+}
+
+TEST(Trace, FingerprintStableAndSensitive) {
+  Trace a, b;
+  a.emit(1_ns, "k", "v");
+  b.emit(1_ns, "k", "v");
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.emit(2_ns, "k", "v");
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace t;
+  t.emit(1_ns, "k", "v");
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+}  // namespace
+}  // namespace steelnet::sim

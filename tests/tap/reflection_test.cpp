@@ -1,0 +1,106 @@
+#include "tap/reflection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace steelnet::tap {
+namespace {
+
+using namespace steelnet::sim::literals;
+
+ReflectionConfig quick(ebpf::ReflectorVariant v, std::size_t flows = 1,
+                       std::size_t packets = 300) {
+  ReflectionConfig c;
+  c.variant = v;
+  c.flows = flows;
+  c.packets = packets;
+  c.seed = 42;
+  return c;
+}
+
+TEST(TrafficReflection, AllPacketsMeasuredNoLoss) {
+  const auto r = run_traffic_reflection(quick(ebpf::ReflectorVariant::kBase));
+  EXPECT_EQ(r.frames_lost, 0u);
+  EXPECT_EQ(r.delay_us.count(), 300u);
+  EXPECT_EQ(r.frames_reflected, 300u);
+  EXPECT_EQ(r.variant, "Base");
+}
+
+TEST(TrafficReflection, DelaysPositiveAndPlausible) {
+  const auto r = run_traffic_reflection(quick(ebpf::ReflectorVariant::kTs));
+  EXPECT_GT(r.delay_us.min(), 1.0);    // at least the wire time
+  EXPECT_LT(r.delay_us.max(), 100.0);  // far below a cycle
+}
+
+TEST(TrafficReflection, RingBufferVariantsSlower) {
+  const auto no_rb =
+      run_traffic_reflection(quick(ebpf::ReflectorVariant::kTsTs));
+  const auto rb =
+      run_traffic_reflection(quick(ebpf::ReflectorVariant::kTsRb));
+  EXPECT_GT(rb.delay_us.median(), no_rb.delay_us.median() + 2.0);
+  EXPECT_GT(rb.ringbuf_records, 0u);
+  EXPECT_EQ(no_rb.ringbuf_records, 0u);
+}
+
+TEST(TrafficReflection, MoreFlowsMoreJitter) {
+  const auto one =
+      run_traffic_reflection(quick(ebpf::ReflectorVariant::kBase, 1, 400));
+  const auto many =
+      run_traffic_reflection(quick(ebpf::ReflectorVariant::kBase, 25, 400));
+  EXPECT_GT(many.jitter_ns.percentile(90), one.jitter_ns.percentile(90) * 2);
+  EXPECT_EQ(many.flows, 25u);
+}
+
+TEST(TrafficReflection, PtpComparisonAddsError) {
+  auto c = quick(ebpf::ReflectorVariant::kBase, 1, 500);
+  c.with_ptp_comparison = true;
+  c.ptp.path_asymmetry = 400_ns;
+  c.ptp.servo_noise = 150_ns;
+  const auto r = run_traffic_reflection(c);
+  ASSERT_EQ(r.ptp_delay_us.count(), r.delay_us.count());
+  // The naive measurement is biased and noisier than the tap's.
+  double max_err = 0;
+  for (std::size_t i = 0; i < r.delay_us.raw().size(); ++i) {
+    max_err = std::max(
+        max_err, std::abs(r.ptp_delay_us.raw()[i] - r.delay_us.raw()[i]));
+  }
+  EXPECT_GT(max_err, 0.1);  // >100ns of measurement error somewhere
+}
+
+TEST(TrafficReflection, DeterministicForSeed) {
+  const auto a = run_traffic_reflection(quick(ebpf::ReflectorVariant::kTsRb));
+  const auto b = run_traffic_reflection(quick(ebpf::ReflectorVariant::kTsRb));
+  ASSERT_EQ(a.delay_us.count(), b.delay_us.count());
+  for (std::size_t i = 0; i < a.delay_us.raw().size(); ++i) {
+    EXPECT_EQ(a.delay_us.raw()[i], b.delay_us.raw()[i]);
+  }
+}
+
+TEST(TrafficReflection, RejectsEmptyWorkload) {
+  auto c = quick(ebpf::ReflectorVariant::kBase);
+  c.flows = 0;
+  EXPECT_THROW(run_traffic_reflection(c), std::invalid_argument);
+  c = quick(ebpf::ReflectorVariant::kBase);
+  c.packets = 0;
+  EXPECT_THROW(run_traffic_reflection(c), std::invalid_argument);
+}
+
+// Property sweep: every variant reflects every packet and produces a
+// monotone CDF.
+class AllVariantsReflect
+    : public ::testing::TestWithParam<ebpf::ReflectorVariant> {};
+
+TEST_P(AllVariantsReflect, NoLossMonotoneCdf) {
+  const auto r = run_traffic_reflection(quick(GetParam(), 1, 200));
+  EXPECT_EQ(r.frames_lost, 0u);
+  const auto cdf = r.delay_us.cdf(50);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].cum_prob, cdf[i - 1].cum_prob);
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, AllVariantsReflect,
+                         ::testing::ValuesIn(ebpf::all_reflector_variants()));
+
+}  // namespace
+}  // namespace steelnet::tap

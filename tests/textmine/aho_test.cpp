@@ -1,0 +1,106 @@
+#include "textmine/aho_corasick.hpp"
+
+#include <gtest/gtest.h>
+
+namespace steelnet::textmine {
+namespace {
+
+TEST(AhoCorasick, FindsSinglePattern) {
+  AhoCorasick ac;
+  ac.add_pattern("plc", 1);
+  ac.build();
+  const auto m = ac.find_all("the plc controls the plant plc");
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0].position, 4u);
+  EXPECT_EQ(m[0].length, 3u);
+  EXPECT_EQ(m[1].position, 27u);
+}
+
+TEST(AhoCorasick, CaseInsensitive) {
+  AhoCorasick ac;
+  ac.add_pattern("TSN", 1);
+  ac.build();
+  EXPECT_EQ(ac.find_all("tsn TSN Tsn").size(), 3u);
+}
+
+TEST(AhoCorasick, OverlappingPatterns) {
+  AhoCorasick ac;
+  ac.add_pattern("he", 1);
+  ac.add_pattern("she", 2);
+  ac.add_pattern("hers", 3);
+  ac.build();
+  const auto m = ac.find_all("ushers");
+  // "she" at 1, "he" at 2, "hers" at 2.
+  ASSERT_EQ(m.size(), 3u);
+}
+
+TEST(AhoCorasick, PatternIsSuffixOfAnother) {
+  AhoCorasick ac;
+  ac.add_pattern("datacenter", 1);
+  ac.add_pattern("center", 2);
+  ac.build();
+  const auto m = ac.find_all("datacenter");
+  ASSERT_EQ(m.size(), 2u);
+}
+
+TEST(AhoCorasick, WordBoundariesFilter) {
+  AhoCorasick ac;
+  ac.add_pattern("plc", 1);
+  ac.build();
+  // "vplc" and "plcs" contain plc but not on word boundaries.
+  EXPECT_EQ(ac.find_words("vplc plcs").size(), 0u);
+  EXPECT_EQ(ac.find_words("plc, (plc) plc").size(), 3u);
+  EXPECT_EQ(ac.find_words("plc").size(), 1u);
+}
+
+TEST(AhoCorasick, MultiWordPatterns) {
+  AhoCorasick ac;
+  ac.add_pattern("data center", 1);
+  ac.build();
+  EXPECT_EQ(ac.find_words("a data center network").size(), 1u);
+  EXPECT_EQ(ac.find_words("metadata centers").size(), 0u);
+}
+
+TEST(AhoCorasick, SpecialCharactersInPatterns) {
+  AhoCorasick ac;
+  ac.add_pattern("it/ot", 1);
+  ac.add_pattern("industry 4.0", 2);
+  ac.build();
+  EXPECT_EQ(ac.find_words("the it/ot gap in industry 4.0 era").size(), 2u);
+}
+
+TEST(AhoCorasick, EmptyTextAndNoMatches) {
+  AhoCorasick ac;
+  ac.add_pattern("xyz", 1);
+  ac.build();
+  EXPECT_TRUE(ac.find_all("").empty());
+  EXPECT_TRUE(ac.find_all("abcabc").empty());
+}
+
+TEST(AhoCorasick, UsageErrors) {
+  AhoCorasick ac;
+  EXPECT_THROW(ac.add_pattern("", 1), std::invalid_argument);
+  ac.add_pattern("x", 1);
+  EXPECT_THROW(ac.find_all("x"), std::logic_error);
+  ac.build();
+  EXPECT_THROW(ac.add_pattern("y", 2), std::logic_error);
+  EXPECT_EQ(ac.pattern_count(), 1u);
+}
+
+TEST(AhoCorasick, ManyPatternsStress) {
+  AhoCorasick ac;
+  std::vector<std::string> pats;
+  for (int i = 0; i < 200; ++i) {
+    pats.push_back("term" + std::to_string(i));
+    ac.add_pattern(pats.back(), std::uint32_t(i));
+  }
+  ac.build();
+  std::string text;
+  for (int i = 0; i < 200; ++i) text += pats[std::size_t(i)] + " ";
+  const auto m = ac.find_words(text);
+  // term1 matches also inside term10..term19? No: word boundaries block.
+  EXPECT_EQ(m.size(), 200u);
+}
+
+}  // namespace
+}  // namespace steelnet::textmine

@@ -1,0 +1,98 @@
+// Regression: a GateControlList installed on a real switch egress port
+// (the EgressQueue drain path, including the gate-retry re-arm).
+#include <gtest/gtest.h>
+
+#include "net/host_node.hpp"
+#include "net/switch_node.hpp"
+#include "sim/simulator.hpp"
+#include "tsn/gcl.hpp"
+
+namespace steelnet::tsn {
+namespace {
+
+using namespace steelnet::sim::literals;
+
+struct GatedFixture {
+  sim::Simulator simulator;
+  net::Network network{simulator};
+  net::SwitchNode* sw;
+  net::HostNode* tx;
+  net::HostNode* rx;
+
+  GatedFixture() {
+    net::SwitchConfig cfg;
+    cfg.mac_learning = false;
+    cfg.processing_delay = 0_ns;
+    sw = &network.add_node<net::SwitchNode>("sw", cfg);
+    tx = &network.add_node<net::HostNode>("tx", net::MacAddress{1});
+    rx = &network.add_node<net::HostNode>("rx", net::MacAddress{2});
+    network.connect(tx->id(), 0, sw->id(), 0);
+    network.connect(rx->id(), 0, sw->id(), 1);
+    sw->add_fdb_entry(net::MacAddress{2}, 1);
+  }
+
+  void send(std::uint8_t pcp) {
+    net::Frame f;
+    f.dst = net::MacAddress{2};
+    f.pcp = pcp;
+    f.payload.resize(46);
+    tx->send(std::move(f));
+  }
+};
+
+TEST(GclOnSwitch, BestEffortWaitsForItsWindow) {
+  GatedFixture fx;
+  // pcp 0 is gated off for the first 100 us of every 1 ms cycle.
+  GateControlList gcl({{100_us, 0x80}, {900_us, 0xff}});
+  fx.sw->set_gate_controller(1, &gcl);
+
+  sim::SimTime at;
+  fx.rx->set_receiver([&](net::Frame, sim::SimTime t) { at = t; });
+  fx.send(0);  // arrives at the switch ~1.17 us, gate closed until 100 us
+  fx.simulator.run();
+  EXPECT_GE(at, 100_us);
+  EXPECT_LT(at, 102_us);  // released right at the gate opening
+}
+
+TEST(GclOnSwitch, HighPriorityPassesInsideWindow) {
+  GatedFixture fx;
+  GateControlList gcl({{100_us, 0x80}, {900_us, 0xff}});
+  fx.sw->set_gate_controller(1, &gcl);
+  sim::SimTime at;
+  fx.rx->set_receiver([&](net::Frame, sim::SimTime t) { at = t; });
+  fx.send(7);
+  fx.simulator.run();
+  EXPECT_LT(at, 3_us);  // no gating for pcp 7
+}
+
+TEST(GclOnSwitch, QueuedFramesReleaseInPriorityOrderAtGateOpen) {
+  GatedFixture fx;
+  GateControlList gcl({{100_us, 0x80}, {900_us, 0xff}});
+  fx.sw->set_gate_controller(1, &gcl);
+  std::vector<std::uint8_t> order;
+  fx.rx->set_receiver(
+      [&](net::Frame f, sim::SimTime) { order.push_back(f.pcp); });
+  fx.send(0);
+  fx.send(3);
+  fx.send(5);
+  fx.simulator.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 5);
+  EXPECT_EQ(order[1], 3);
+  EXPECT_EQ(order[2], 0);
+}
+
+TEST(GclOnSwitch, PeriodicTrafficSustainedAcrossManyCycles) {
+  GatedFixture fx;
+  GateControlList gcl({{100_us, 0x80}, {900_us, 0xff}});
+  fx.sw->set_gate_controller(1, &gcl);
+  int got = 0;
+  fx.rx->set_receiver([&](net::Frame, sim::SimTime) { ++got; });
+  sim::PeriodicTask task(fx.simulator, 0_ns, 250_us, [&] { fx.send(0); });
+  fx.simulator.run_until(50_ms);
+  // 200 frames offered; the gate delays but never starves them.
+  EXPECT_EQ(got, 200);
+}
+
+}  // namespace
+}  // namespace steelnet::tsn

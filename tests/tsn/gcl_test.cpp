@@ -1,0 +1,121 @@
+#include "tsn/gcl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace steelnet::tsn {
+namespace {
+
+using namespace steelnet::sim::literals;
+
+TEST(GateControlList, RejectsBadEntries) {
+  EXPECT_THROW(GateControlList({}), std::invalid_argument);
+  EXPECT_THROW(GateControlList({{0_ns, 0xff}}), std::invalid_argument);
+}
+
+TEST(GateControlList, CycleTimeIsSumOfEntries) {
+  GateControlList gcl({{100_us, 0xff}, {400_us, 0x01}});
+  EXPECT_EQ(gcl.cycle_time(), 500_us);
+}
+
+TEST(GateControlList, GateOpenFollowsEntries) {
+  // First 100us: only pcp 7; rest: everything.
+  GateControlList gcl({{100_us, 0x80}, {400_us, 0xff}});
+  EXPECT_TRUE(gcl.gate_open(7, 50_us));
+  EXPECT_FALSE(gcl.gate_open(0, 50_us));
+  EXPECT_TRUE(gcl.gate_open(0, 150_us));
+  // Next cycle, same phase.
+  EXPECT_FALSE(gcl.gate_open(0, 550_us));
+  EXPECT_TRUE(gcl.gate_open(7, 550_us));
+}
+
+TEST(GateControlList, BaseOffsetShiftsPhase) {
+  GateControlList gcl({{100_us, 0x80}, {400_us, 0xff}}, 50_us);
+  EXPECT_FALSE(gcl.gate_open(0, 60_us));   // phase 10us: RT window
+  EXPECT_TRUE(gcl.gate_open(0, 200_us));   // phase 150us: open
+}
+
+TEST(GateControlList, CanStartRequiresWholeWindow) {
+  GateControlList gcl({{100_us, 0x80}, {400_us, 0xff}});
+  // pcp7 frame of 60us at t=30us: window has 70us left -> ok.
+  EXPECT_TRUE(gcl.can_start(7, 30_us, 60_us));
+  // pcp7 frame of 80us at t=30us: RT window closes in 70us, but the next
+  // entry also has gate 7 open (0xff) -> still ok (contiguous run).
+  EXPECT_TRUE(gcl.can_start(7, 30_us, 80_us));
+  // pcp0 frame of 450us at t=100us: open run is 400us only -> no.
+  EXPECT_FALSE(gcl.can_start(0, 100_us, 450_us));
+  // pcp0 frame at t=50us (gate closed) -> no.
+  EXPECT_FALSE(gcl.can_start(0, 50_us, 1_us));
+}
+
+TEST(GateControlList, GuardBandBlocksFrameSpanningClose) {
+  // Open window 100us, closed 400us for pcp 0.
+  GateControlList gcl({{100_us, 0xff}, {400_us, 0x80}});
+  EXPECT_TRUE(gcl.can_start(0, 80_us, 20_us));   // fits exactly
+  EXPECT_FALSE(gcl.can_start(0, 80_us, 21_us));  // would cross the close
+}
+
+TEST(GateControlList, NextOpportunityNowIfOpen) {
+  GateControlList gcl({{100_us, 0xff}, {400_us, 0x80}});
+  EXPECT_EQ(gcl.next_opportunity(0, 10_us, 20_us), 10_us);
+}
+
+TEST(GateControlList, NextOpportunityJumpsToNextWindow) {
+  GateControlList gcl({{100_us, 0xff}, {400_us, 0x80}});
+  // pcp0 at t=90us needs 20us; current window has 10us left; next chance
+  // is the next cycle's first entry at 500us.
+  EXPECT_EQ(gcl.next_opportunity(0, 90_us, 20_us), 500_us);
+}
+
+TEST(GateControlList, NextOpportunityForUnschedulableFrame) {
+  GateControlList gcl({{100_us, 0xff}, {400_us, 0x80}});
+  // 200us frame never fits the 100us open window; must not return now,
+  // must make forward progress.
+  const auto t = gcl.next_opportunity(0, 10_us, 200_us);
+  EXPECT_GT(t, 10_us);
+}
+
+TEST(GateControlList, OpenRunCapsAtOneCycle) {
+  GateControlList gcl({{100_us, 0xff}, {400_us, 0xff}});
+  EXPECT_EQ(gcl.open_run_from(3, 0_us), 500_us);
+}
+
+TEST(GateControlList, ProtectedWindowHelper) {
+  auto gcl = make_protected_window_gcl(1_ms, 100_us, 6);
+  EXPECT_EQ(gcl.cycle_time(), 1_ms);
+  EXPECT_TRUE(gcl.gate_open(7, 50_us));
+  EXPECT_TRUE(gcl.gate_open(6, 50_us));
+  EXPECT_FALSE(gcl.gate_open(5, 50_us));
+  EXPECT_TRUE(gcl.gate_open(0, 500_us));
+  EXPECT_THROW(make_protected_window_gcl(1_ms, 1_ms, 6),
+               std::invalid_argument);
+}
+
+TEST(GateControlList, GatesAtOrAboveMask) {
+  EXPECT_EQ(gates_at_or_above(0), 0xff);
+  EXPECT_EQ(gates_at_or_above(6), 0xc0);
+  EXPECT_EQ(gates_at_or_above(7), 0x80);
+}
+
+// Property sweep: for every phase, exactly the mask of the active entry
+// answers gate_open.
+class GclPhaseSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GclPhaseSweep, GateOpenMatchesEntryMask) {
+  GateControlList gcl({{100_us, 0x80}, {150_us, 0x0f}, {250_us, 0xff}});
+  const auto t = sim::microseconds(GetParam());
+  const auto phase_us = GetParam() % 500;
+  std::uint8_t expected = phase_us < 100 ? 0x80
+                          : phase_us < 250 ? 0x0f
+                                           : 0xff;
+  for (std::uint8_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(gcl.gate_open(p, t), ((expected >> p) & 1) != 0)
+        << "pcp " << int(p) << " at " << t.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Phases, GclPhaseSweep,
+                         ::testing::Values(0, 50, 99, 100, 249, 250, 499, 500,
+                                           555, 999, 1250));
+
+}  // namespace
+}  // namespace steelnet::tsn

@@ -1,0 +1,100 @@
+#include "tsn/ptp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace steelnet::tsn {
+namespace {
+
+using namespace steelnet::sim::literals;
+
+TEST(PtpClock, OffsetBoundedByNoiseAndDrift) {
+  PtpConfig cfg;
+  cfg.servo_noise = 30_ns;
+  cfg.drift_ppb = 50.0;
+  PtpClock clk(cfg, 42);
+  // Drift over one 125ms interval at 50ppb = 6.25ns; total offset should
+  // stay well inside ~6 sigma + drift.
+  for (int i = 0; i < 1000; ++i) {
+    const auto t = 1_ms * i;
+    clk.advance_to(t);
+    EXPECT_LT(std::abs(double(clk.offset_at(t).nanos())), 200.0);
+  }
+}
+
+TEST(PtpClock, AsymmetryBiasesEveryReading) {
+  PtpConfig cfg;
+  cfg.servo_noise = 1_ns;
+  cfg.drift_ppb = 0;
+  cfg.path_asymmetry = 500_ns;
+  PtpClock clk(cfg, 1);
+  double sum = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto t = 10_ms * i;
+    clk.advance_to(t);
+    sum += double(clk.offset_at(t).nanos());
+  }
+  EXPECT_NEAR(sum / 100.0, 500.0, 5.0);
+}
+
+TEST(PtpClock, DriftAccumulatesBetweenSyncs) {
+  PtpConfig cfg;
+  cfg.servo_noise = 0_ns;
+  cfg.drift_ppb = 1000.0;  // 1 ppm
+  cfg.sync_interval = 1_s;
+  PtpClock clk(cfg, 7);
+  clk.advance_to(0_ms);
+  const auto o0 = clk.offset_at(0_ms);
+  const auto o1 = clk.offset_at(500_ms);  // +0.5s at 1ppm = +500ns
+  EXPECT_EQ((o1 - o0).nanos(), 500);
+}
+
+TEST(PtpClock, ReadIsTruePlusOffset) {
+  PtpConfig cfg;
+  cfg.servo_noise = 0_ns;
+  cfg.drift_ppb = 0;
+  cfg.path_asymmetry = 42_ns;
+  PtpClock clk(cfg, 3);
+  EXPECT_EQ(clk.read(1_ms), 1_ms + 42_ns);
+}
+
+TEST(PtpClock, RejectsBadConfig) {
+  PtpConfig cfg;
+  cfg.sync_interval = 0_ns;
+  EXPECT_THROW(PtpClock(cfg, 1), std::invalid_argument);
+}
+
+TEST(PtpClock, DeterministicPerSeed) {
+  PtpClock a(PtpConfig{}, 99), b(PtpConfig{}, 99);
+  for (int i = 0; i < 50; ++i) {
+    const auto t = 20_ms * i;
+    a.advance_to(t);
+    b.advance_to(t);
+    EXPECT_EQ(a.offset_at(t), b.offset_at(t));
+  }
+}
+
+TEST(QuantizedTimestamper, EightNanosecondGrid) {
+  QuantizedTimestamper ts(8_ns);
+  EXPECT_EQ(ts.stamp(0_ns), 0_ns);
+  EXPECT_EQ(ts.stamp(7_ns), 0_ns);
+  EXPECT_EQ(ts.stamp(8_ns), 8_ns);
+  EXPECT_EQ(ts.stamp(1234_ns), 1232_ns);
+}
+
+TEST(QuantizedTimestamper, RejectsBadResolution) {
+  EXPECT_THROW(QuantizedTimestamper(0_ns), std::invalid_argument);
+}
+
+TEST(QuantizedTimestamper, ErrorAlwaysUnderResolution) {
+  QuantizedTimestamper ts(8_ns);
+  for (std::int64_t t = 0; t < 1000; t += 7) {
+    const auto e = sim::SimTime{t} - ts.stamp(sim::SimTime{t});
+    EXPECT_GE(e.nanos(), 0);
+    EXPECT_LT(e.nanos(), 8);
+  }
+}
+
+}  // namespace
+}  // namespace steelnet::tsn

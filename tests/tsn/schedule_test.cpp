@@ -1,0 +1,134 @@
+#include "tsn/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace steelnet::tsn {
+namespace {
+
+using namespace steelnet::sim::literals;
+
+FlowSpec flow(std::uint64_t id, sim::SimTime period,
+              std::vector<std::uint64_t> path, std::size_t bytes = 84) {
+  FlowSpec f;
+  f.flow_id = id;
+  f.period = period;
+  f.frame_bytes = bytes;
+  f.path = std::move(path);
+  return f;
+}
+
+TEST(Scheduler, EmptyInput) {
+  const auto r = schedule_flows({});
+  EXPECT_TRUE(r.flows.empty());
+  EXPECT_TRUE(r.unschedulable.empty());
+}
+
+TEST(Scheduler, SingleFlowGetsOffsetZero) {
+  const auto r = schedule_flows({flow(1, 1_ms, {100})});
+  ASSERT_EQ(r.flows.size(), 1u);
+  EXPECT_EQ(r.flows[0].offset, 0_ns);
+  EXPECT_EQ(r.hyperperiod, 1_ms);
+  EXPECT_FALSE(validate_schedule(r).has_value());
+}
+
+TEST(Scheduler, TwoFlowsSharingPortDoNotOverlap) {
+  const auto r =
+      schedule_flows({flow(1, 1_ms, {100}), flow(2, 1_ms, {100})});
+  ASSERT_EQ(r.flows.size(), 2u);
+  EXPECT_NE(r.flows[0].offset, r.flows[1].offset);
+  EXPECT_FALSE(validate_schedule(r).has_value());
+}
+
+TEST(Scheduler, DisjointPathsShareOffsets) {
+  const auto r =
+      schedule_flows({flow(1, 1_ms, {100}), flow(2, 1_ms, {200})});
+  ASSERT_EQ(r.flows.size(), 2u);
+  EXPECT_EQ(r.flows[0].offset, 0_ns);
+  EXPECT_EQ(r.flows[1].offset, 0_ns);
+}
+
+TEST(Scheduler, HarmonicPeriodsHyperperiod) {
+  const auto r = schedule_flows(
+      {flow(1, 1_ms, {100}), flow(2, 2_ms, {100}), flow(3, 4_ms, {100})});
+  EXPECT_EQ(r.hyperperiod, 4_ms);
+  EXPECT_EQ(r.flows.size(), 3u);
+  EXPECT_FALSE(validate_schedule(r).has_value());
+}
+
+TEST(Scheduler, NonHarmonicPeriodsLcm) {
+  const auto r =
+      schedule_flows({flow(1, 2_ms, {100}), flow(2, 3_ms, {100})});
+  EXPECT_EQ(r.hyperperiod, 6_ms);
+  EXPECT_FALSE(validate_schedule(r).has_value());
+}
+
+TEST(Scheduler, MultiHopPathsReserveEveryPort) {
+  const auto r = schedule_flows({flow(1, 1_ms, {100, 200, 300})});
+  ASSERT_EQ(r.flows.size(), 1u);
+  // One reservation per hop per period instance.
+  EXPECT_EQ(r.reservations.size(), 3u);
+}
+
+TEST(Scheduler, OversubscribedPortReportsUnschedulable) {
+  // 84B at 1Gb/s = 672ns per frame; a 2us period fits at most 2 flows
+  // (with 1us granularity); the fourth cannot be placed.
+  std::vector<FlowSpec> flows;
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    flows.push_back(flow(i, 2_us, {100}));
+  }
+  SchedulerConfig cfg;
+  cfg.granularity = 500_ns;
+  const auto r = schedule_flows(flows, cfg);
+  EXPECT_FALSE(r.unschedulable.empty());
+  EXPECT_FALSE(validate_schedule(r).has_value());
+}
+
+TEST(Scheduler, RejectsBadSpecs) {
+  EXPECT_THROW(schedule_flows({flow(1, 0_ns, {100})}), std::invalid_argument);
+  EXPECT_THROW(schedule_flows({flow(1, 1_ms, {})}), std::invalid_argument);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns) {
+  std::vector<FlowSpec> flows;
+  for (std::uint64_t i = 1; i <= 8; ++i) {
+    flows.push_back(flow(i, i % 2 == 0 ? 2_ms : 1_ms, {i % 3, 100}));
+  }
+  const auto a = schedule_flows(flows);
+  const auto b = schedule_flows(flows);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].offset, b.flows[i].offset);
+  }
+}
+
+TEST(Scheduler, FindLocatesFlow) {
+  const auto r =
+      schedule_flows({flow(7, 1_ms, {100}), flow(9, 1_ms, {100})});
+  EXPECT_TRUE(r.find(7).has_value());
+  EXPECT_TRUE(r.find(9).has_value());
+  EXPECT_FALSE(r.find(8).has_value());
+}
+
+// Property: for a randomized batch of flows, the schedule always
+// validates and scheduled+unschedulable == input count.
+class SchedulerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerProperty, AlwaysConsistent) {
+  const int n = GetParam();
+  std::vector<FlowSpec> flows;
+  for (int i = 0; i < n; ++i) {
+    const auto periods = std::vector<sim::SimTime>{500_us, 1_ms, 2_ms};
+    flows.push_back(flow(std::uint64_t(i + 1),
+                         periods[std::size_t(i) % periods.size()],
+                         {std::uint64_t(i % 4), 100}));
+  }
+  const auto r = schedule_flows(flows);
+  EXPECT_EQ(r.flows.size() + r.unschedulable.size(), flows.size());
+  EXPECT_FALSE(validate_schedule(r).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SchedulerProperty,
+                         ::testing::Values(1, 3, 6, 10, 16));
+
+}  // namespace
+}  // namespace steelnet::tsn
