@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_single_clock.dir/ablation_single_clock.cpp.o"
+  "CMakeFiles/ablation_single_clock.dir/ablation_single_clock.cpp.o.d"
+  "ablation_single_clock"
+  "ablation_single_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_single_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tsn_gcl.dir/ablation_tsn_gcl.cpp.o"
+  "CMakeFiles/ablation_tsn_gcl.dir/ablation_tsn_gcl.cpp.o.d"
+  "ablation_tsn_gcl"
+  "ablation_tsn_gcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tsn_gcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

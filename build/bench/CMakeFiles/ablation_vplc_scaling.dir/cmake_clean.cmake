@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vplc_scaling.dir/ablation_vplc_scaling.cpp.o"
+  "CMakeFiles/ablation_vplc_scaling.dir/ablation_vplc_scaling.cpp.o.d"
+  "ablation_vplc_scaling"
+  "ablation_vplc_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vplc_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

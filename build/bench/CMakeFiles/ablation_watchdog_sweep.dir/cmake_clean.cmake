@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_watchdog_sweep.dir/ablation_watchdog_sweep.cpp.o"
+  "CMakeFiles/ablation_watchdog_sweep.dir/ablation_watchdog_sweep.cpp.o.d"
+  "ablation_watchdog_sweep"
+  "ablation_watchdog_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_watchdog_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_research_gap.dir/fig1_research_gap.cpp.o"
+  "CMakeFiles/fig1_research_gap.dir/fig1_research_gap.cpp.o.d"
+  "fig1_research_gap"
+  "fig1_research_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_research_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_instaplc.dir/fig5_instaplc.cpp.o"
+  "CMakeFiles/fig5_instaplc.dir/fig5_instaplc.cpp.o.d"
+  "fig5_instaplc"
+  "fig5_instaplc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_instaplc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

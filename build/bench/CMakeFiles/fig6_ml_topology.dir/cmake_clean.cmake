@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ml_topology.dir/fig6_ml_topology.cpp.o"
+  "CMakeFiles/fig6_ml_topology.dir/fig6_ml_topology.cpp.o.d"
+  "fig6_ml_topology"
+  "fig6_ml_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ml_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

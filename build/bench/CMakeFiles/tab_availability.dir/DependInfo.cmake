@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab_availability.cpp" "bench/CMakeFiles/tab_availability.dir/tab_availability.cpp.o" "gcc" "bench/CMakeFiles/tab_availability.dir/tab_availability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instaplc/CMakeFiles/steelnet_instaplc.dir/DependInfo.cmake"
+  "/root/repo/build/src/plc/CMakeFiles/steelnet_plc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/steelnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/steelnet_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/profinet/CMakeFiles/steelnet_profinet.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/steelnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/steelnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_traffic_mix.dir/tab_traffic_mix.cpp.o"
+  "CMakeFiles/tab_traffic_mix.dir/tab_traffic_mix.cpp.o.d"
+  "tab_traffic_mix"
+  "tab_traffic_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_traffic_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebpf_playground.dir/ebpf_playground.cpp.o"
+  "CMakeFiles/ebpf_playground.dir/ebpf_playground.cpp.o.d"
+  "ebpf_playground"
+  "ebpf_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebpf_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_inspection.dir/ml_inspection.cpp.o"
+  "CMakeFiles/ml_inspection.dir/ml_inspection.cpp.o.d"
+  "ml_inspection"
+  "ml_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_cell.dir/production_cell.cpp.o"
+  "CMakeFiles/production_cell.dir/production_cell.cpp.o.d"
+  "production_cell"
+  "production_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

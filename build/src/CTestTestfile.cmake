@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("net")
+subdirs("tsn")
+subdirs("host")
+subdirs("ebpf")
+subdirs("tap")
+subdirs("profinet")
+subdirs("process")
+subdirs("plc")
+subdirs("sdn")
+subdirs("instaplc")
+subdirs("mlnet")
+subdirs("textmine")
+subdirs("core")

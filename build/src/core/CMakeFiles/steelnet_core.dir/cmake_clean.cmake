@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steelnet_core.dir/availability.cpp.o"
+  "CMakeFiles/steelnet_core.dir/availability.cpp.o.d"
+  "CMakeFiles/steelnet_core.dir/report.cpp.o"
+  "CMakeFiles/steelnet_core.dir/report.cpp.o.d"
+  "CMakeFiles/steelnet_core.dir/traffic_mix.cpp.o"
+  "CMakeFiles/steelnet_core.dir/traffic_mix.cpp.o.d"
+  "libsteelnet_core.a"
+  "libsteelnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steelnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ebpf/assembler.cpp" "src/ebpf/CMakeFiles/steelnet_ebpf.dir/assembler.cpp.o" "gcc" "src/ebpf/CMakeFiles/steelnet_ebpf.dir/assembler.cpp.o.d"
+  "/root/repo/src/ebpf/cost.cpp" "src/ebpf/CMakeFiles/steelnet_ebpf.dir/cost.cpp.o" "gcc" "src/ebpf/CMakeFiles/steelnet_ebpf.dir/cost.cpp.o.d"
+  "/root/repo/src/ebpf/isa.cpp" "src/ebpf/CMakeFiles/steelnet_ebpf.dir/isa.cpp.o" "gcc" "src/ebpf/CMakeFiles/steelnet_ebpf.dir/isa.cpp.o.d"
+  "/root/repo/src/ebpf/maps.cpp" "src/ebpf/CMakeFiles/steelnet_ebpf.dir/maps.cpp.o" "gcc" "src/ebpf/CMakeFiles/steelnet_ebpf.dir/maps.cpp.o.d"
+  "/root/repo/src/ebpf/programs.cpp" "src/ebpf/CMakeFiles/steelnet_ebpf.dir/programs.cpp.o" "gcc" "src/ebpf/CMakeFiles/steelnet_ebpf.dir/programs.cpp.o.d"
+  "/root/repo/src/ebpf/verifier.cpp" "src/ebpf/CMakeFiles/steelnet_ebpf.dir/verifier.cpp.o" "gcc" "src/ebpf/CMakeFiles/steelnet_ebpf.dir/verifier.cpp.o.d"
+  "/root/repo/src/ebpf/vm.cpp" "src/ebpf/CMakeFiles/steelnet_ebpf.dir/vm.cpp.o" "gcc" "src/ebpf/CMakeFiles/steelnet_ebpf.dir/vm.cpp.o.d"
+  "/root/repo/src/ebpf/xdp.cpp" "src/ebpf/CMakeFiles/steelnet_ebpf.dir/xdp.cpp.o" "gcc" "src/ebpf/CMakeFiles/steelnet_ebpf.dir/xdp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/steelnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/steelnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steelnet_ebpf.dir/assembler.cpp.o"
+  "CMakeFiles/steelnet_ebpf.dir/assembler.cpp.o.d"
+  "CMakeFiles/steelnet_ebpf.dir/cost.cpp.o"
+  "CMakeFiles/steelnet_ebpf.dir/cost.cpp.o.d"
+  "CMakeFiles/steelnet_ebpf.dir/isa.cpp.o"
+  "CMakeFiles/steelnet_ebpf.dir/isa.cpp.o.d"
+  "CMakeFiles/steelnet_ebpf.dir/maps.cpp.o"
+  "CMakeFiles/steelnet_ebpf.dir/maps.cpp.o.d"
+  "CMakeFiles/steelnet_ebpf.dir/programs.cpp.o"
+  "CMakeFiles/steelnet_ebpf.dir/programs.cpp.o.d"
+  "CMakeFiles/steelnet_ebpf.dir/verifier.cpp.o"
+  "CMakeFiles/steelnet_ebpf.dir/verifier.cpp.o.d"
+  "CMakeFiles/steelnet_ebpf.dir/vm.cpp.o"
+  "CMakeFiles/steelnet_ebpf.dir/vm.cpp.o.d"
+  "CMakeFiles/steelnet_ebpf.dir/xdp.cpp.o"
+  "CMakeFiles/steelnet_ebpf.dir/xdp.cpp.o.d"
+  "libsteelnet_ebpf.a"
+  "libsteelnet_ebpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steelnet_ebpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

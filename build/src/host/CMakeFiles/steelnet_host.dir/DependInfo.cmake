@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/host_path.cpp" "src/host/CMakeFiles/steelnet_host.dir/host_path.cpp.o" "gcc" "src/host/CMakeFiles/steelnet_host.dir/host_path.cpp.o.d"
+  "/root/repo/src/host/kernel.cpp" "src/host/CMakeFiles/steelnet_host.dir/kernel.cpp.o" "gcc" "src/host/CMakeFiles/steelnet_host.dir/kernel.cpp.o.d"
+  "/root/repo/src/host/pcie.cpp" "src/host/CMakeFiles/steelnet_host.dir/pcie.cpp.o" "gcc" "src/host/CMakeFiles/steelnet_host.dir/pcie.cpp.o.d"
+  "/root/repo/src/host/samplers.cpp" "src/host/CMakeFiles/steelnet_host.dir/samplers.cpp.o" "gcc" "src/host/CMakeFiles/steelnet_host.dir/samplers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/steelnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/steelnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steelnet_host.dir/host_path.cpp.o"
+  "CMakeFiles/steelnet_host.dir/host_path.cpp.o.d"
+  "CMakeFiles/steelnet_host.dir/kernel.cpp.o"
+  "CMakeFiles/steelnet_host.dir/kernel.cpp.o.d"
+  "CMakeFiles/steelnet_host.dir/pcie.cpp.o"
+  "CMakeFiles/steelnet_host.dir/pcie.cpp.o.d"
+  "CMakeFiles/steelnet_host.dir/samplers.cpp.o"
+  "CMakeFiles/steelnet_host.dir/samplers.cpp.o.d"
+  "libsteelnet_host.a"
+  "libsteelnet_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steelnet_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

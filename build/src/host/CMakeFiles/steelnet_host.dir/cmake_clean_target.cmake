@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsteelnet_host.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steelnet_instaplc.dir/digital_twin.cpp.o"
+  "CMakeFiles/steelnet_instaplc.dir/digital_twin.cpp.o.d"
+  "CMakeFiles/steelnet_instaplc.dir/instaplc.cpp.o"
+  "CMakeFiles/steelnet_instaplc.dir/instaplc.cpp.o.d"
+  "libsteelnet_instaplc.a"
+  "libsteelnet_instaplc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steelnet_instaplc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steelnet_mlnet.dir/inference.cpp.o"
+  "CMakeFiles/steelnet_mlnet.dir/inference.cpp.o.d"
+  "CMakeFiles/steelnet_mlnet.dir/topologies.cpp.o"
+  "CMakeFiles/steelnet_mlnet.dir/topologies.cpp.o.d"
+  "CMakeFiles/steelnet_mlnet.dir/workload.cpp.o"
+  "CMakeFiles/steelnet_mlnet.dir/workload.cpp.o.d"
+  "libsteelnet_mlnet.a"
+  "libsteelnet_mlnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steelnet_mlnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for steelnet_mlnet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/egress_queue.cpp" "src/net/CMakeFiles/steelnet_net.dir/egress_queue.cpp.o" "gcc" "src/net/CMakeFiles/steelnet_net.dir/egress_queue.cpp.o.d"
+  "/root/repo/src/net/frame.cpp" "src/net/CMakeFiles/steelnet_net.dir/frame.cpp.o" "gcc" "src/net/CMakeFiles/steelnet_net.dir/frame.cpp.o.d"
+  "/root/repo/src/net/host_node.cpp" "src/net/CMakeFiles/steelnet_net.dir/host_node.cpp.o" "gcc" "src/net/CMakeFiles/steelnet_net.dir/host_node.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/steelnet_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/steelnet_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/switch_node.cpp" "src/net/CMakeFiles/steelnet_net.dir/switch_node.cpp.o" "gcc" "src/net/CMakeFiles/steelnet_net.dir/switch_node.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/steelnet_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/steelnet_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/steelnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

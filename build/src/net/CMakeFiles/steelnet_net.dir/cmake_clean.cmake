@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steelnet_net.dir/egress_queue.cpp.o"
+  "CMakeFiles/steelnet_net.dir/egress_queue.cpp.o.d"
+  "CMakeFiles/steelnet_net.dir/frame.cpp.o"
+  "CMakeFiles/steelnet_net.dir/frame.cpp.o.d"
+  "CMakeFiles/steelnet_net.dir/host_node.cpp.o"
+  "CMakeFiles/steelnet_net.dir/host_node.cpp.o.d"
+  "CMakeFiles/steelnet_net.dir/network.cpp.o"
+  "CMakeFiles/steelnet_net.dir/network.cpp.o.d"
+  "CMakeFiles/steelnet_net.dir/switch_node.cpp.o"
+  "CMakeFiles/steelnet_net.dir/switch_node.cpp.o.d"
+  "CMakeFiles/steelnet_net.dir/topology.cpp.o"
+  "CMakeFiles/steelnet_net.dir/topology.cpp.o.d"
+  "libsteelnet_net.a"
+  "libsteelnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steelnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plc/function_blocks.cpp" "src/plc/CMakeFiles/steelnet_plc.dir/function_blocks.cpp.o" "gcc" "src/plc/CMakeFiles/steelnet_plc.dir/function_blocks.cpp.o.d"
+  "/root/repo/src/plc/il.cpp" "src/plc/CMakeFiles/steelnet_plc.dir/il.cpp.o" "gcc" "src/plc/CMakeFiles/steelnet_plc.dir/il.cpp.o.d"
+  "/root/repo/src/plc/plc.cpp" "src/plc/CMakeFiles/steelnet_plc.dir/plc.cpp.o" "gcc" "src/plc/CMakeFiles/steelnet_plc.dir/plc.cpp.o.d"
+  "/root/repo/src/plc/redundancy.cpp" "src/plc/CMakeFiles/steelnet_plc.dir/redundancy.cpp.o" "gcc" "src/plc/CMakeFiles/steelnet_plc.dir/redundancy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profinet/CMakeFiles/steelnet_profinet.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/steelnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/steelnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steelnet_plc.dir/function_blocks.cpp.o"
+  "CMakeFiles/steelnet_plc.dir/function_blocks.cpp.o.d"
+  "CMakeFiles/steelnet_plc.dir/il.cpp.o"
+  "CMakeFiles/steelnet_plc.dir/il.cpp.o.d"
+  "CMakeFiles/steelnet_plc.dir/plc.cpp.o"
+  "CMakeFiles/steelnet_plc.dir/plc.cpp.o.d"
+  "CMakeFiles/steelnet_plc.dir/redundancy.cpp.o"
+  "CMakeFiles/steelnet_plc.dir/redundancy.cpp.o.d"
+  "libsteelnet_plc.a"
+  "libsteelnet_plc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steelnet_plc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steelnet_process.dir/process.cpp.o"
+  "CMakeFiles/steelnet_process.dir/process.cpp.o.d"
+  "libsteelnet_process.a"
+  "libsteelnet_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steelnet_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

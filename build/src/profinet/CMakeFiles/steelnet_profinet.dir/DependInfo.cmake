@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profinet/controller.cpp" "src/profinet/CMakeFiles/steelnet_profinet.dir/controller.cpp.o" "gcc" "src/profinet/CMakeFiles/steelnet_profinet.dir/controller.cpp.o.d"
+  "/root/repo/src/profinet/io_device.cpp" "src/profinet/CMakeFiles/steelnet_profinet.dir/io_device.cpp.o" "gcc" "src/profinet/CMakeFiles/steelnet_profinet.dir/io_device.cpp.o.d"
+  "/root/repo/src/profinet/wire.cpp" "src/profinet/CMakeFiles/steelnet_profinet.dir/wire.cpp.o" "gcc" "src/profinet/CMakeFiles/steelnet_profinet.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/steelnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/steelnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steelnet_profinet.dir/controller.cpp.o"
+  "CMakeFiles/steelnet_profinet.dir/controller.cpp.o.d"
+  "CMakeFiles/steelnet_profinet.dir/io_device.cpp.o"
+  "CMakeFiles/steelnet_profinet.dir/io_device.cpp.o.d"
+  "CMakeFiles/steelnet_profinet.dir/wire.cpp.o"
+  "CMakeFiles/steelnet_profinet.dir/wire.cpp.o.d"
+  "libsteelnet_profinet.a"
+  "libsteelnet_profinet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steelnet_profinet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

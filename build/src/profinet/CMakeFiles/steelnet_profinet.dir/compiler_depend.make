@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for steelnet_profinet.
+# This may be replaced when dependencies are built.

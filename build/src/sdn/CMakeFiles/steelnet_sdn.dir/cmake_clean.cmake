@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steelnet_sdn.dir/pipeline.cpp.o"
+  "CMakeFiles/steelnet_sdn.dir/pipeline.cpp.o.d"
+  "CMakeFiles/steelnet_sdn.dir/sdn_switch.cpp.o"
+  "CMakeFiles/steelnet_sdn.dir/sdn_switch.cpp.o.d"
+  "libsteelnet_sdn.a"
+  "libsteelnet_sdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steelnet_sdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

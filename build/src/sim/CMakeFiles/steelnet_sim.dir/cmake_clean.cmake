@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steelnet_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/steelnet_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/steelnet_sim.dir/random.cpp.o"
+  "CMakeFiles/steelnet_sim.dir/random.cpp.o.d"
+  "CMakeFiles/steelnet_sim.dir/simulator.cpp.o"
+  "CMakeFiles/steelnet_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/steelnet_sim.dir/stats.cpp.o"
+  "CMakeFiles/steelnet_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/steelnet_sim.dir/time.cpp.o"
+  "CMakeFiles/steelnet_sim.dir/time.cpp.o.d"
+  "CMakeFiles/steelnet_sim.dir/trace.cpp.o"
+  "CMakeFiles/steelnet_sim.dir/trace.cpp.o.d"
+  "libsteelnet_sim.a"
+  "libsteelnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steelnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

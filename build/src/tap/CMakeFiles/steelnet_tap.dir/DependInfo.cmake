@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tap/reflection.cpp" "src/tap/CMakeFiles/steelnet_tap.dir/reflection.cpp.o" "gcc" "src/tap/CMakeFiles/steelnet_tap.dir/reflection.cpp.o.d"
+  "/root/repo/src/tap/tap_node.cpp" "src/tap/CMakeFiles/steelnet_tap.dir/tap_node.cpp.o" "gcc" "src/tap/CMakeFiles/steelnet_tap.dir/tap_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/steelnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsn/CMakeFiles/steelnet_tsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/steelnet_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/steelnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

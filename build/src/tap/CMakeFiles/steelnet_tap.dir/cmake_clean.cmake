@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steelnet_tap.dir/reflection.cpp.o"
+  "CMakeFiles/steelnet_tap.dir/reflection.cpp.o.d"
+  "CMakeFiles/steelnet_tap.dir/tap_node.cpp.o"
+  "CMakeFiles/steelnet_tap.dir/tap_node.cpp.o.d"
+  "libsteelnet_tap.a"
+  "libsteelnet_tap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steelnet_tap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

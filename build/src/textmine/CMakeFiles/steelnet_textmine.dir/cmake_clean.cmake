@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steelnet_textmine.dir/aho_corasick.cpp.o"
+  "CMakeFiles/steelnet_textmine.dir/aho_corasick.cpp.o.d"
+  "CMakeFiles/steelnet_textmine.dir/corpus.cpp.o"
+  "CMakeFiles/steelnet_textmine.dir/corpus.cpp.o.d"
+  "CMakeFiles/steelnet_textmine.dir/terms.cpp.o"
+  "CMakeFiles/steelnet_textmine.dir/terms.cpp.o.d"
+  "libsteelnet_textmine.a"
+  "libsteelnet_textmine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steelnet_textmine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

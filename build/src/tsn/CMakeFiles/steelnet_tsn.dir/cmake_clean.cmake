@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steelnet_tsn.dir/gcl.cpp.o"
+  "CMakeFiles/steelnet_tsn.dir/gcl.cpp.o.d"
+  "CMakeFiles/steelnet_tsn.dir/ptp.cpp.o"
+  "CMakeFiles/steelnet_tsn.dir/ptp.cpp.o.d"
+  "CMakeFiles/steelnet_tsn.dir/schedule.cpp.o"
+  "CMakeFiles/steelnet_tsn.dir/schedule.cpp.o.d"
+  "libsteelnet_tsn.a"
+  "libsteelnet_tsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steelnet_tsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ebpf/assembler_test.cpp" "tests/CMakeFiles/ebpf_tests.dir/ebpf/assembler_test.cpp.o" "gcc" "tests/CMakeFiles/ebpf_tests.dir/ebpf/assembler_test.cpp.o.d"
+  "/root/repo/tests/ebpf/cost_test.cpp" "tests/CMakeFiles/ebpf_tests.dir/ebpf/cost_test.cpp.o" "gcc" "tests/CMakeFiles/ebpf_tests.dir/ebpf/cost_test.cpp.o.d"
+  "/root/repo/tests/ebpf/maps_test.cpp" "tests/CMakeFiles/ebpf_tests.dir/ebpf/maps_test.cpp.o" "gcc" "tests/CMakeFiles/ebpf_tests.dir/ebpf/maps_test.cpp.o.d"
+  "/root/repo/tests/ebpf/verifier_test.cpp" "tests/CMakeFiles/ebpf_tests.dir/ebpf/verifier_test.cpp.o" "gcc" "tests/CMakeFiles/ebpf_tests.dir/ebpf/verifier_test.cpp.o.d"
+  "/root/repo/tests/ebpf/vm_property_test.cpp" "tests/CMakeFiles/ebpf_tests.dir/ebpf/vm_property_test.cpp.o" "gcc" "tests/CMakeFiles/ebpf_tests.dir/ebpf/vm_property_test.cpp.o.d"
+  "/root/repo/tests/ebpf/vm_test.cpp" "tests/CMakeFiles/ebpf_tests.dir/ebpf/vm_test.cpp.o" "gcc" "tests/CMakeFiles/ebpf_tests.dir/ebpf/vm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ebpf/CMakeFiles/steelnet_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/steelnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/steelnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

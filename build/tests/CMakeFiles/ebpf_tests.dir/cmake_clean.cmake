@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebpf_tests.dir/ebpf/assembler_test.cpp.o"
+  "CMakeFiles/ebpf_tests.dir/ebpf/assembler_test.cpp.o.d"
+  "CMakeFiles/ebpf_tests.dir/ebpf/cost_test.cpp.o"
+  "CMakeFiles/ebpf_tests.dir/ebpf/cost_test.cpp.o.d"
+  "CMakeFiles/ebpf_tests.dir/ebpf/maps_test.cpp.o"
+  "CMakeFiles/ebpf_tests.dir/ebpf/maps_test.cpp.o.d"
+  "CMakeFiles/ebpf_tests.dir/ebpf/verifier_test.cpp.o"
+  "CMakeFiles/ebpf_tests.dir/ebpf/verifier_test.cpp.o.d"
+  "CMakeFiles/ebpf_tests.dir/ebpf/vm_property_test.cpp.o"
+  "CMakeFiles/ebpf_tests.dir/ebpf/vm_property_test.cpp.o.d"
+  "CMakeFiles/ebpf_tests.dir/ebpf/vm_test.cpp.o"
+  "CMakeFiles/ebpf_tests.dir/ebpf/vm_test.cpp.o.d"
+  "ebpf_tests"
+  "ebpf_tests.pdb"
+  "ebpf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebpf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

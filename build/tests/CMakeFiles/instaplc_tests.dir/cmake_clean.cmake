@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instaplc_tests.dir/instaplc/instaplc_test.cpp.o"
+  "CMakeFiles/instaplc_tests.dir/instaplc/instaplc_test.cpp.o.d"
+  "instaplc_tests"
+  "instaplc_tests.pdb"
+  "instaplc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instaplc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

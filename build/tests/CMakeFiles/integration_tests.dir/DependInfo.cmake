@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/factory_e2e_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/factory_e2e_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/factory_e2e_test.cpp.o.d"
+  "/root/repo/tests/integration/golden_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/golden_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/golden_test.cpp.o.d"
+  "/root/repo/tests/integration/tsn_schedule_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/tsn_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/tsn_schedule_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instaplc/CMakeFiles/steelnet_instaplc.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/steelnet_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/tap/CMakeFiles/steelnet_tap.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsn/CMakeFiles/steelnet_tsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/steelnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/steelnet_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/profinet/CMakeFiles/steelnet_profinet.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/steelnet_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/steelnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/steelnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

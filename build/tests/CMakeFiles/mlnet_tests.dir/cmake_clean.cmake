@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlnet_tests.dir/mlnet/topology_test.cpp.o"
+  "CMakeFiles/mlnet_tests.dir/mlnet/topology_test.cpp.o.d"
+  "CMakeFiles/mlnet_tests.dir/mlnet/workload_test.cpp.o"
+  "CMakeFiles/mlnet_tests.dir/mlnet/workload_test.cpp.o.d"
+  "mlnet_tests"
+  "mlnet_tests.pdb"
+  "mlnet_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlnet_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

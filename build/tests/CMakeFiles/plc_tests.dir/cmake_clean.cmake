@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_tests.dir/plc/fb_test.cpp.o"
+  "CMakeFiles/plc_tests.dir/plc/fb_test.cpp.o.d"
+  "CMakeFiles/plc_tests.dir/plc/il_test.cpp.o"
+  "CMakeFiles/plc_tests.dir/plc/il_test.cpp.o.d"
+  "CMakeFiles/plc_tests.dir/plc/plc_integration_test.cpp.o"
+  "CMakeFiles/plc_tests.dir/plc/plc_integration_test.cpp.o.d"
+  "plc_tests"
+  "plc_tests.pdb"
+  "plc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_tests.dir/process/process_test.cpp.o"
+  "CMakeFiles/process_tests.dir/process/process_test.cpp.o.d"
+  "process_tests"
+  "process_tests.pdb"
+  "process_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

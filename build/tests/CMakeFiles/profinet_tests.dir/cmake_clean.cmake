@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profinet_tests.dir/profinet/exchange_test.cpp.o"
+  "CMakeFiles/profinet_tests.dir/profinet/exchange_test.cpp.o.d"
+  "CMakeFiles/profinet_tests.dir/profinet/wire_test.cpp.o"
+  "CMakeFiles/profinet_tests.dir/profinet/wire_test.cpp.o.d"
+  "profinet_tests"
+  "profinet_tests.pdb"
+  "profinet_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profinet_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_tests.dir/sdn/pipeline_test.cpp.o"
+  "CMakeFiles/sdn_tests.dir/sdn/pipeline_test.cpp.o.d"
+  "CMakeFiles/sdn_tests.dir/sdn/sdn_switch_test.cpp.o"
+  "CMakeFiles/sdn_tests.dir/sdn/sdn_switch_test.cpp.o.d"
+  "sdn_tests"
+  "sdn_tests.pdb"
+  "sdn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

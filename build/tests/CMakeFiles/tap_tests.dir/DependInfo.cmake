@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tap/reflection_test.cpp" "tests/CMakeFiles/tap_tests.dir/tap/reflection_test.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/tap/reflection_test.cpp.o.d"
+  "/root/repo/tests/tap/tap_test.cpp" "tests/CMakeFiles/tap_tests.dir/tap/tap_test.cpp.o" "gcc" "tests/CMakeFiles/tap_tests.dir/tap/tap_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tap/CMakeFiles/steelnet_tap.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsn/CMakeFiles/steelnet_tsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/steelnet_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/steelnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/steelnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tap_tests.dir/tap/reflection_test.cpp.o"
+  "CMakeFiles/tap_tests.dir/tap/reflection_test.cpp.o.d"
+  "CMakeFiles/tap_tests.dir/tap/tap_test.cpp.o"
+  "CMakeFiles/tap_tests.dir/tap/tap_test.cpp.o.d"
+  "tap_tests"
+  "tap_tests.pdb"
+  "tap_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tap_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

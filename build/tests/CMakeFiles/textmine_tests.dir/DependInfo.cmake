@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/textmine/aho_test.cpp" "tests/CMakeFiles/textmine_tests.dir/textmine/aho_test.cpp.o" "gcc" "tests/CMakeFiles/textmine_tests.dir/textmine/aho_test.cpp.o.d"
+  "/root/repo/tests/textmine/terms_test.cpp" "tests/CMakeFiles/textmine_tests.dir/textmine/terms_test.cpp.o" "gcc" "tests/CMakeFiles/textmine_tests.dir/textmine/terms_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/textmine/CMakeFiles/steelnet_textmine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/steelnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textmine_tests.dir/textmine/aho_test.cpp.o"
+  "CMakeFiles/textmine_tests.dir/textmine/aho_test.cpp.o.d"
+  "CMakeFiles/textmine_tests.dir/textmine/terms_test.cpp.o"
+  "CMakeFiles/textmine_tests.dir/textmine/terms_test.cpp.o.d"
+  "textmine_tests"
+  "textmine_tests.pdb"
+  "textmine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textmine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

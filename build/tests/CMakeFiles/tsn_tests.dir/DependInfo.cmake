@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tsn/gcl_switch_test.cpp" "tests/CMakeFiles/tsn_tests.dir/tsn/gcl_switch_test.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/tsn/gcl_switch_test.cpp.o.d"
+  "/root/repo/tests/tsn/gcl_test.cpp" "tests/CMakeFiles/tsn_tests.dir/tsn/gcl_test.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/tsn/gcl_test.cpp.o.d"
+  "/root/repo/tests/tsn/ptp_test.cpp" "tests/CMakeFiles/tsn_tests.dir/tsn/ptp_test.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/tsn/ptp_test.cpp.o.d"
+  "/root/repo/tests/tsn/schedule_test.cpp" "tests/CMakeFiles/tsn_tests.dir/tsn/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/tsn/schedule_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tsn/CMakeFiles/steelnet_tsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/steelnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/steelnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

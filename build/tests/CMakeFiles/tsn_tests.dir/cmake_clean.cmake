@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_tests.dir/tsn/gcl_switch_test.cpp.o"
+  "CMakeFiles/tsn_tests.dir/tsn/gcl_switch_test.cpp.o.d"
+  "CMakeFiles/tsn_tests.dir/tsn/gcl_test.cpp.o"
+  "CMakeFiles/tsn_tests.dir/tsn/gcl_test.cpp.o.d"
+  "CMakeFiles/tsn_tests.dir/tsn/ptp_test.cpp.o"
+  "CMakeFiles/tsn_tests.dir/tsn/ptp_test.cpp.o.d"
+  "CMakeFiles/tsn_tests.dir/tsn/schedule_test.cpp.o"
+  "CMakeFiles/tsn_tests.dir/tsn/schedule_test.cpp.o.d"
+  "tsn_tests"
+  "tsn_tests.pdb"
+  "tsn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/tsn_tests[1]_include.cmake")
+include("/root/repo/build/tests/host_tests[1]_include.cmake")
+include("/root/repo/build/tests/ebpf_tests[1]_include.cmake")
+include("/root/repo/build/tests/tap_tests[1]_include.cmake")
+include("/root/repo/build/tests/profinet_tests[1]_include.cmake")
+include("/root/repo/build/tests/process_tests[1]_include.cmake")
+include("/root/repo/build/tests/plc_tests[1]_include.cmake")
+include("/root/repo/build/tests/sdn_tests[1]_include.cmake")
+include("/root/repo/build/tests/instaplc_tests[1]_include.cmake")
+include("/root/repo/build/tests/mlnet_tests[1]_include.cmake")
+include("/root/repo/build/tests/textmine_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
