@@ -4,6 +4,7 @@
 #include "ebpf/programs.hpp"
 #include "ebpf/verifier.hpp"
 #include "ebpf/vm.hpp"
+#include "flowmon/flow_cache.hpp"
 #include "net/host_node.hpp"
 #include "net/switch_node.hpp"
 #include "profinet/wire.hpp"
@@ -133,6 +134,50 @@ void BM_AhoCorasickScan(benchmark::State& state) {
                           int64_t(text.size()));
 }
 BENCHMARK(BM_AhoCorasickScan);
+
+// The flowmon metering hot path: 1M synthetic frames spread over a
+// configurable number of concurrent flows, with periodic expiry of the
+// coldest half -- the insert / lookup / expire churn a MeterPoint puts a
+// FlowCache through. Baseline for later perf PRs.
+void BM_FlowCacheHotPath(benchmark::State& state) {
+  constexpr std::size_t kFrames = 1'000'000;
+  const auto num_flows = static_cast<std::uint64_t>(state.range(0));
+  sim::Rng rng{42};
+  // Pre-draw the frame sequence so the benchmark loop times the cache,
+  // not the RNG: frames round-robin over flows with randomized sizes.
+  std::vector<net::Frame> frames(num_flows);
+  for (std::uint64_t i = 0; i < num_flows; ++i) {
+    frames[i].src = net::MacAddress{0x0a'0000'000000ULL + i};
+    frames[i].dst = net::MacAddress{0x0c'0000'000001ULL};
+    frames[i].pcp = static_cast<std::uint8_t>(i & 0x7);
+    frames[i].payload.resize(64 + std::size_t(rng.uniform_int(0, 1400)));
+  }
+  for (auto _ : state) {
+    flowmon::FlowCache cache(2 * num_flows);
+    sim::SimTime now = sim::SimTime::zero();
+    std::size_t fi = 0;
+    for (std::size_t i = 0; i < kFrames; ++i) {
+      now = now + sim::nanoseconds(800);
+      benchmark::DoNotOptimize(cache.record(frames[fi], now));
+      if (++fi == frames.size()) fi = 0;
+      // Periodic expiry sweep: evict every other flow, as an idle-timeout
+      // pass would, so deletion (backward-shift) stays in the measurement.
+      if ((i & 0xffff) == 0xffff) {
+        std::vector<flowmon::FlowKey> victims;
+        victims.reserve(cache.size() / 2);
+        bool take = false;
+        cache.for_each([&](const flowmon::FlowRecord& r) {
+          if ((take = !take)) victims.push_back(r.key);
+        });
+        for (const auto& k : victims) cache.erase(k);
+      }
+    }
+    benchmark::DoNotOptimize(cache.stats());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(kFrames));
+}
+BENCHMARK(BM_FlowCacheHotPath)->Arg(64)->Arg(1024)->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SwitchForwarding(benchmark::State& state) {
   for (auto _ : state) {

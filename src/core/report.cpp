@@ -58,6 +58,43 @@ std::string TextTable::pct(double fraction, int precision) {
   return buf;
 }
 
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::print(std::ostream& os) const {
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) os << ',';
+      os << escape(cells[i]);
+    }
+    os << '\n';
+  };
+  line(headers_);
+  for (const auto& row : rows_) line(row);
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
 std::string ascii_cdf(const sim::SampleSet& samples,
                       const std::string& x_label, std::size_t width,
                       std::size_t height) {

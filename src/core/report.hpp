@@ -29,6 +29,25 @@ class TextTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// RFC 4180-ish CSV emission for benches that want machine-readable
+/// output next to the console table (same add_row interface as TextTable,
+/// so one row-building loop can feed both).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Quotes a cell if it contains a comma, quote, or newline.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
 /// Renders an empirical CDF as an ASCII plot (x = value, y = quantile).
 /// `width` x `height` characters.
 [[nodiscard]] std::string ascii_cdf(const sim::SampleSet& samples,

@@ -88,18 +88,21 @@ std::vector<FlowStats> generate_mix(const MixSpec& spec) {
   return flows;
 }
 
-std::vector<MixRow> tabulate_mix(const std::vector<FlowStats>& flows) {
+std::vector<MixRow> tabulate_mix(const std::vector<FlowStats>& flows,
+                                 const ClassifierThresholds& thresholds) {
   std::map<FlowClass, MixRow> rows;
   double total_bytes = 0;
   for (const auto& f : flows) total_bytes += double(f.total_bytes);
 
   for (const auto& f : flows) {
-    const FlowClass c = classify(f);
+    const FlowClass c = classify(f, thresholds);
     MixRow& row = rows[c];
     row.klass = to_string(c);
     ++row.count;
     row.share_of_bytes += double(f.total_bytes);
-    if (classify_bytes_only(f) != c) ++row.misclassified_by_bytes_only;
+    if (classify_bytes_only(f, thresholds) != c) {
+      ++row.misclassified_by_bytes_only;
+    }
   }
   std::vector<MixRow> out;
   for (auto& [c, row] : rows) {

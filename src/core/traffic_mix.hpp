@@ -70,8 +70,11 @@ struct MixRow {
 };
 
 /// Classifies a workload and tabulates it, including how many flows the
-/// bytes-only taxonomy puts in the wrong class.
+/// bytes-only taxonomy puts in the wrong class. Custom thresholds let
+/// scaled-down measured workloads (flowmon's in-network observation of a
+/// short window) use proportionally scaled class boundaries.
 [[nodiscard]] std::vector<MixRow> tabulate_mix(
-    const std::vector<FlowStats>& flows);
+    const std::vector<FlowStats>& flows,
+    const ClassifierThresholds& thresholds = {});
 
 }  // namespace steelnet::core

@@ -1,0 +1,148 @@
+#include "flowmon/collector.hpp"
+
+#include <algorithm>
+
+namespace steelnet::flowmon {
+
+CollectorNode::CollectorNode(net::MacAddress mac, PeriodicityConfig cfg)
+    : mac_(mac), cfg_(cfg) {}
+
+void CollectorNode::handle_frame(net::Frame frame, net::PortId in_port) {
+  observe_frame(frame, in_port);
+  ++counters_.frames_in;
+  if ((frame.dst != mac_ && !frame.dst.is_broadcast()) ||
+      frame.ethertype != net::EtherType::kFlowmonExport) {
+    ++counters_.frames_filtered;
+    return;
+  }
+  const auto msg = decode_message(frame.payload, templates_);
+  if (!msg.has_value()) {
+    ++counters_.malformed;
+    return;
+  }
+  ++counters_.messages;
+  counters_.templates_learned += msg->templates_learned;
+  counters_.records_without_template += msg->records_without_template;
+
+  // IPFIX sequence accounting: the header carries the count of data
+  // records sent before this message, so a jump means lost records.
+  const auto domain = msg->header.observation_domain;
+  const auto it = next_sequence_.find(domain);
+  if (it != next_sequence_.end() && msg->header.sequence > it->second) {
+    counters_.lost_records += msg->header.sequence - it->second;
+  }
+  next_sequence_[domain] =
+      msg->header.sequence + static_cast<std::uint32_t>(msg->records.size());
+
+  for (const ExportRecord& r : msg->records) {
+    ++counters_.records;
+    absorb(r);
+  }
+}
+
+void CollectorNode::absorb(const ExportRecord& r) {
+  FlowAccum& a = flows_[r.key];
+  const bool first_record = a.incarnations == 0 && !a.has_live;
+  if (first_record || r.first_seen < a.first_seen) {
+    a.first_seen = r.first_seen;
+  }
+  if (first_record || r.last_seen > a.last_seen) a.last_seen = r.last_seen;
+  if (r.packets >= 2 && r.min_iat < a.min_iat) a.min_iat = r.min_iat;
+  // Keep the cadence estimate from the best-sampled record.
+  if (r.packets >= a.cadence_packets) {
+    a.cadence_packets = r.packets;
+    a.mean_iat = r.mean_iat;
+    a.jitter = r.jitter;
+  }
+
+  // Records carry absolute totals since their incarnation began, so a
+  // checkpoint overwrites the live record; a closing record folds the
+  // incarnation into the finished totals.
+  a.live = r;
+  a.has_live = true;
+  if (r.end_reason == EndReason::kActiveTimeout) {
+    a.ended = false;
+    return;
+  }
+  a.done_packets += r.packets;
+  a.done_bytes += r.bytes;
+  a.done_wire_bytes += r.wire_bytes;
+  a.has_live = false;
+  ++a.incarnations;
+  // A forced flush means the observation window closed on a still-running
+  // flow -- that is precisely an open-ended flow.
+  a.ended = r.end_reason != EndReason::kForcedEnd;
+}
+
+FlowView CollectorNode::view_of(const FlowKey& key,
+                                const FlowAccum& a) const {
+  FlowView v;
+  v.key = key;
+  v.packets = a.done_packets + (a.has_live ? a.live.packets : 0);
+  v.bytes = a.done_bytes + (a.has_live ? a.live.bytes : 0);
+  v.wire_bytes = a.done_wire_bytes + (a.has_live ? a.live.wire_bytes : 0);
+  v.first_seen = a.first_seen;
+  v.last_seen = a.last_seen;
+  v.min_iat = a.min_iat == sim::SimTime::max() ? sim::SimTime::zero()
+                                               : a.min_iat;
+  v.mean_iat = a.mean_iat;
+  v.jitter = a.jitter;
+  v.incarnations = a.incarnations + (a.has_live ? 1 : 0);
+  v.open_ended = !a.ended;
+  const sim::SimTime tolerance{std::max<std::int64_t>(
+      static_cast<std::int64_t>(cfg_.jitter_fraction *
+                                double(a.mean_iat.nanos())),
+      cfg_.jitter_floor.nanos())};
+  v.periodic = a.cadence_packets >= cfg_.min_packets &&
+               a.mean_iat > sim::SimTime::zero() && a.jitter <= tolerance;
+  return v;
+}
+
+std::vector<FlowView> CollectorNode::flows() const {
+  std::vector<FlowView> out;
+  out.reserve(flows_.size());
+  for (const auto& [key, accum] : flows_) out.push_back(view_of(key, accum));
+  return out;
+}
+
+std::vector<core::FlowStats> CollectorNode::measured_stats() const {
+  std::vector<core::FlowStats> out;
+  out.reserve(flows_.size());
+  for (const FlowView& v : flows()) {
+    core::FlowStats s;
+    s.total_bytes = v.bytes;
+    s.duration = v.duration();
+    s.mean_packet_bytes = v.mean_packet_bytes();
+    s.periodic = v.periodic;
+    s.open_ended = v.open_ended;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::uint64_t CollectorNode::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const FlowView& v : flows()) {
+    mix(v.key.src.bits());
+    mix(v.key.dst.bits());
+    mix((std::uint64_t(v.key.pcp) << 16) |
+        std::uint64_t(static_cast<std::uint16_t>(v.key.ethertype)));
+    mix(v.packets);
+    mix(v.bytes);
+    mix(v.wire_bytes);
+    mix(static_cast<std::uint64_t>(v.first_seen.nanos()));
+    mix(static_cast<std::uint64_t>(v.last_seen.nanos()));
+    mix(static_cast<std::uint64_t>(v.mean_iat.nanos()));
+    mix(static_cast<std::uint64_t>(v.jitter.nanos()));
+    mix((std::uint64_t(v.open_ended) << 1) | std::uint64_t(v.periodic));
+  }
+  return h;
+}
+
+}  // namespace steelnet::flowmon

@@ -1,0 +1,123 @@
+// steelnet::flowmon -- the collecting process.
+//
+// A CollectorNode is a network endpoint (one NIC, like HostNode) that
+// receives flowmon export frames, learns templates, reassembles data
+// records, and maintains the measured per-flow state the rest of the
+// repo consumes: core::FlowStats for the §2.3 classifier, derived not
+// from configuration but from cadence observed in-network. A flow is
+//   * open-ended  if its latest record says the flow was still live
+//     (active-timeout checkpoint or forced flush), and
+//   * periodic    if its cadence is steady: enough packets and measured
+//     jitter below a fraction of the mean inter-arrival time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/traffic_mix.hpp"
+#include "flowmon/ipfix.hpp"
+#include "net/node.hpp"
+
+namespace steelnet::flowmon {
+
+/// Cadence-based deterministic-microflow detection knobs.
+struct PeriodicityConfig {
+  std::uint64_t min_packets = 8;
+  /// jitter <= max(jitter_fraction * mean_iat, jitter_floor) => periodic.
+  double jitter_fraction = 0.1;
+  sim::SimTime jitter_floor = sim::microseconds(5);
+};
+
+struct CollectorCounters {
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_filtered = 0;   ///< not ours / wrong ethertype
+  std::uint64_t messages = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t records = 0;
+  std::uint64_t templates_learned = 0;
+  std::uint64_t records_without_template = 0;
+  /// Gaps detected via IPFIX sequence numbers (per observation domain).
+  std::uint64_t lost_records = 0;
+};
+
+/// Merged view of one measured flow, across export checkpoints and
+/// cache incarnations (idle-expire + restart).
+struct FlowView {
+  FlowKey key;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t wire_bytes = 0;
+  sim::SimTime first_seen;
+  sim::SimTime last_seen;
+  sim::SimTime min_iat;
+  sim::SimTime mean_iat;
+  sim::SimTime jitter;
+  std::uint32_t incarnations = 0;  ///< idle-expired-and-restarted count
+  bool open_ended = false;
+  bool periodic = false;
+
+  [[nodiscard]] sim::SimTime duration() const {
+    return last_seen - first_seen;
+  }
+  [[nodiscard]] std::size_t mean_packet_bytes() const {
+    return packets == 0 ? 0 : static_cast<std::size_t>(bytes / packets);
+  }
+};
+
+class CollectorNode : public net::Node {
+ public:
+  explicit CollectorNode(net::MacAddress mac, PeriodicityConfig cfg = {});
+
+  void handle_frame(net::Frame frame, net::PortId in_port) override;
+
+  [[nodiscard]] net::MacAddress mac() const { return mac_; }
+  [[nodiscard]] const CollectorCounters& counters() const {
+    return counters_;
+  }
+
+  /// All measured flows, merged, sorted by key (deterministic).
+  [[nodiscard]] std::vector<FlowView> flows() const;
+
+  /// Classifier inputs measured in-network -- drop-in replacement for
+  /// core::generate_mix's synthesized stats, same ordering as flows().
+  [[nodiscard]] std::vector<core::FlowStats> measured_stats() const;
+
+  /// FNV-1a over every merged flow's fields -- pinned by golden tests:
+  /// identical seeds must yield identical measured flow records.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+ private:
+  struct FlowAccum {
+    // Totals from finished incarnations (idle-expired flows that may
+    // restart later).
+    std::uint64_t done_packets = 0;
+    std::uint64_t done_bytes = 0;
+    std::uint64_t done_wire_bytes = 0;
+    /// Latest record of the current incarnation (absolute totals).
+    ExportRecord live;
+    bool has_live = false;
+    sim::SimTime first_seen;
+    sim::SimTime last_seen;
+    sim::SimTime min_iat = sim::SimTime::max();
+    /// Cadence of the *latest* record -- the freshest estimate.
+    sim::SimTime mean_iat;
+    sim::SimTime jitter;
+    std::uint64_t cadence_packets = 0;
+    std::uint32_t incarnations = 0;
+    bool ended = false;  ///< last record closed the flow
+  };
+
+  void absorb(const ExportRecord& r);
+  [[nodiscard]] FlowView view_of(const FlowKey& key,
+                                 const FlowAccum& a) const;
+
+  net::MacAddress mac_;
+  PeriodicityConfig cfg_;
+  TemplateStore templates_;
+  std::map<FlowKey, FlowAccum> flows_;
+  std::map<std::uint32_t, std::uint32_t> next_sequence_;  ///< per domain
+  CollectorCounters counters_;
+};
+
+}  // namespace steelnet::flowmon

@@ -1,0 +1,103 @@
+#include "flowmon/flow_cache.hpp"
+
+namespace steelnet::flowmon {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlowCache::FlowCache(std::size_t capacity)
+    : slots_(round_up_pow2(capacity)),
+      load_cap_(slots_.size() / 4 * 3) {}
+
+std::size_t FlowCache::probe(const FlowKey& key) const {
+  std::size_t i = home(key);
+  while (slots_[i].used && !(slots_[i].record.key == key)) {
+    ++stats_.probes;
+    i = (i + 1) & mask();
+  }
+  return i;
+}
+
+FlowRecord* FlowCache::find(const FlowKey& key) {
+  ++stats_.lookups;
+  const std::size_t i = probe(key);
+  if (!slots_[i].used) return nullptr;
+  ++stats_.hits;
+  return &slots_[i].record;
+}
+
+const FlowRecord* FlowCache::find(const FlowKey& key) const {
+  return const_cast<FlowCache*>(this)->find(key);
+}
+
+FlowRecord* FlowCache::record(const net::Frame& frame, sim::SimTime now) {
+  const FlowKey key = FlowKey::of(frame);
+  ++stats_.lookups;
+  const std::size_t i = probe(key);
+  Slot& slot = slots_[i];
+  if (!slot.used) {
+    if (size_ >= load_cap_) {
+      ++stats_.dropped_full;
+      return nullptr;
+    }
+    ++stats_.inserts;
+    ++size_;
+    slot.used = true;
+    slot.record = FlowRecord{};
+    slot.record.key = key;
+    slot.record.first_seen = now;
+    slot.record.last_export = now;
+  } else {
+    ++stats_.hits;
+    FlowRecord& r = slot.record;
+    const sim::SimTime iat = now - r.last_seen;
+    if (iat < r.min_iat) r.min_iat = iat;
+    if (iat > r.max_iat) r.max_iat = iat;
+    r.iat_sum_ns += iat.nanos();
+    if (r.has_prev_iat) {
+      const std::int64_t d = iat.nanos() - r.prev_iat.nanos();
+      r.iat_jitter_sum_ns += d < 0 ? -d : d;
+    }
+    r.prev_iat = iat;
+    r.has_prev_iat = true;
+  }
+  FlowRecord& r = slot.record;
+  ++r.packets;
+  r.bytes += frame.payload.size();
+  r.wire_bytes += frame.wire_bytes();
+  r.last_seen = now;
+  return &r;
+}
+
+bool FlowCache::erase(const FlowKey& key) {
+  std::size_t i = probe(key);
+  if (!slots_[i].used) return false;
+  ++stats_.erased;
+  --size_;
+  // Backward-shift compaction: close the hole by moving every following
+  // cluster member whose home slot lies at or before the hole.
+  std::size_t hole = i;
+  std::size_t j = (i + 1) & mask();
+  while (slots_[j].used) {
+    const std::size_t h = home(slots_[j].record.key);
+    // Does j's home precede the hole in circular probe order?
+    const bool wraps = j < hole;
+    const bool movable = wraps ? (h <= hole && h > j) : (h <= hole || h > j);
+    if (movable) {
+      slots_[hole].record = slots_[j].record;
+      hole = j;
+    }
+    j = (j + 1) & mask();
+  }
+  slots_[hole].used = false;
+  return true;
+}
+
+}  // namespace steelnet::flowmon

@@ -1,0 +1,60 @@
+// steelnet::flowmon -- the metering key of one L2 flow.
+//
+// Flows are keyed on what an in-network meter can actually see on the
+// wire: (src MAC, dst MAC, VLAN PCP, EtherType). Everything downstream
+// (export records, the collector's taxonomy) is derived from measurement
+// under this key -- never from the simulation-only Frame::flow_id.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "net/frame.hpp"
+
+namespace steelnet::flowmon {
+
+struct FlowKey {
+  net::MacAddress src;
+  net::MacAddress dst;
+  std::uint8_t pcp = 0;
+  net::EtherType ethertype = net::EtherType::kExperimental;
+
+  [[nodiscard]] static FlowKey of(const net::Frame& frame) {
+    return FlowKey{frame.src, frame.dst, static_cast<std::uint8_t>(frame.pcp & 0x7),
+                   frame.ethertype};
+  }
+
+  [[nodiscard]] bool operator==(const FlowKey&) const = default;
+
+  /// SplitMix64-style avalanche over the packed key; stable across
+  /// platforms (golden traces depend on the probe order it induces).
+  [[nodiscard]] std::uint64_t hash() const {
+    std::uint64_t z = src.bits() ^ (dst.bits() << 11) ^
+                      (static_cast<std::uint64_t>(pcp) << 56) ^
+                      (static_cast<std::uint64_t>(ethertype) << 40);
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Total order used to stabilize collector output.
+  [[nodiscard]] bool operator<(const FlowKey& o) const {
+    if (src.bits() != o.src.bits()) return src.bits() < o.src.bits();
+    if (dst.bits() != o.dst.bits()) return dst.bits() < o.dst.bits();
+    if (pcp != o.pcp) return pcp < o.pcp;
+    return static_cast<std::uint16_t>(ethertype) <
+           static_cast<std::uint16_t>(o.ethertype);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    char et[8];
+    std::snprintf(et, sizeof et, "%04x",
+                  static_cast<unsigned>(ethertype));
+    return src.to_string() + "->" + dst.to_string() + " pcp" +
+           std::to_string(pcp) + " 0x" + et;
+  }
+};
+
+}  // namespace steelnet::flowmon

@@ -1,0 +1,265 @@
+#include "flowmon/ipfix.hpp"
+
+namespace steelnet::flowmon {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 20;
+constexpr std::uint16_t kTemplateSetId = 2;
+
+void write_le(std::vector<std::uint8_t>& buf, std::uint64_t value,
+              std::size_t width) {
+  for (std::size_t i = 0; i < width; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+void patch_u16(std::vector<std::uint8_t>& buf, std::size_t at,
+               std::uint16_t value) {
+  buf[at] = static_cast<std::uint8_t>(value);
+  buf[at + 1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+/// Bounded little-endian read; returns false on overrun.
+bool read_le(const std::vector<std::uint8_t>& buf, std::size_t& at,
+             std::size_t width, std::uint64_t& out) {
+  if (at + width > buf.size()) return false;
+  out = 0;
+  for (std::size_t i = width; i-- > 0;) {
+    out = (out << 8) | buf[at + i];
+  }
+  at += width;
+  return true;
+}
+
+std::uint64_t field_value(const ExportRecord& r, FieldId id) {
+  switch (id) {
+    case FieldId::kOctets: return r.bytes;
+    case FieldId::kPackets: return r.packets;
+    case FieldId::kSrcMac: return r.key.src.bits();
+    case FieldId::kDstMac: return r.key.dst.bits();
+    case FieldId::kEndReason:
+      return static_cast<std::uint64_t>(r.end_reason);
+    case FieldId::kFirstSeenNs:
+      return static_cast<std::uint64_t>(r.first_seen.nanos());
+    case FieldId::kLastSeenNs:
+      return static_cast<std::uint64_t>(r.last_seen.nanos());
+    case FieldId::kVlanPcp: return r.key.pcp;
+    case FieldId::kEtherType:
+      return static_cast<std::uint64_t>(r.key.ethertype);
+    case FieldId::kLayer2Octets: return r.wire_bytes;
+    case FieldId::kMinIatNs:
+      return static_cast<std::uint64_t>(r.min_iat.nanos());
+    case FieldId::kMeanIatNs:
+      return static_cast<std::uint64_t>(r.mean_iat.nanos());
+    case FieldId::kJitterNs:
+      return static_cast<std::uint64_t>(r.jitter.nanos());
+  }
+  return 0;
+}
+
+void assign_field(ExportRecord& r, FieldId id, std::uint64_t v) {
+  switch (id) {
+    case FieldId::kOctets: r.bytes = v; break;
+    case FieldId::kPackets: r.packets = v; break;
+    case FieldId::kSrcMac: r.key.src = net::MacAddress{v}; break;
+    case FieldId::kDstMac: r.key.dst = net::MacAddress{v}; break;
+    case FieldId::kEndReason:
+      r.end_reason = static_cast<EndReason>(v);
+      break;
+    case FieldId::kFirstSeenNs:
+      r.first_seen = sim::SimTime{static_cast<std::int64_t>(v)};
+      break;
+    case FieldId::kLastSeenNs:
+      r.last_seen = sim::SimTime{static_cast<std::int64_t>(v)};
+      break;
+    case FieldId::kVlanPcp:
+      r.key.pcp = static_cast<std::uint8_t>(v);
+      break;
+    case FieldId::kEtherType:
+      r.key.ethertype = static_cast<net::EtherType>(v);
+      break;
+    case FieldId::kLayer2Octets: r.wire_bytes = v; break;
+    case FieldId::kMinIatNs:
+      r.min_iat = sim::SimTime{static_cast<std::int64_t>(v)};
+      break;
+    case FieldId::kMeanIatNs:
+      r.mean_iat = sim::SimTime{static_cast<std::int64_t>(v)};
+      break;
+    case FieldId::kJitterNs:
+      r.jitter = sim::SimTime{static_cast<std::int64_t>(v)};
+      break;
+  }
+}
+
+}  // namespace
+
+std::size_t Template::record_bytes() const {
+  std::size_t n = 0;
+  for (const auto& f : fields) n += f.width;
+  return n;
+}
+
+const Template& flow_template() {
+  static const Template kTemplate{
+      256,
+      {{FieldId::kSrcMac, 6},
+       {FieldId::kDstMac, 6},
+       {FieldId::kEtherType, 2},
+       {FieldId::kVlanPcp, 1},
+       {FieldId::kPackets, 8},
+       {FieldId::kOctets, 8},
+       {FieldId::kLayer2Octets, 8},
+       {FieldId::kFirstSeenNs, 8},
+       {FieldId::kLastSeenNs, 8},
+       {FieldId::kMinIatNs, 8},
+       {FieldId::kMeanIatNs, 8},
+       {FieldId::kJitterNs, 8},
+       {FieldId::kEndReason, 1}}};
+  return kTemplate;
+}
+
+ExportRecord to_export_record(const FlowRecord& r, EndReason reason) {
+  ExportRecord e;
+  e.key = r.key;
+  e.packets = r.packets;
+  e.bytes = r.bytes;
+  e.wire_bytes = r.wire_bytes;
+  e.first_seen = r.first_seen;
+  e.last_seen = r.last_seen;
+  e.min_iat = r.packets < 2 ? sim::SimTime::zero() : r.min_iat;
+  e.mean_iat = r.mean_iat();
+  e.jitter = r.mean_jitter();
+  e.end_reason = reason;
+  return e;
+}
+
+void TemplateStore::learn(std::uint32_t domain, Template tmpl) {
+  templates_[{domain, tmpl.id}] = std::move(tmpl);
+}
+
+const Template* TemplateStore::find(std::uint32_t domain,
+                                    std::uint16_t template_id) const {
+  const auto it = templates_.find({domain, template_id});
+  return it == templates_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint8_t> encode_message(
+    const MessageHeader& header, const Template& tmpl, bool include_template,
+    const std::vector<ExportRecord>& records) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(kHeaderBytes + records.size() * tmpl.record_bytes() + 64);
+  write_le(buf, header.version, 2);
+  write_le(buf, 0, 2);  // total length, patched below
+  write_le(buf, static_cast<std::uint64_t>(header.export_time.nanos()), 8);
+  write_le(buf, header.sequence, 4);
+  write_le(buf, header.observation_domain, 4);
+
+  if (include_template) {
+    const std::size_t set_start = buf.size();
+    write_le(buf, kTemplateSetId, 2);
+    write_le(buf, 0, 2);  // set length, patched below
+    write_le(buf, tmpl.id, 2);
+    write_le(buf, tmpl.fields.size(), 2);
+    for (const auto& f : tmpl.fields) {
+      write_le(buf, static_cast<std::uint64_t>(f.id), 2);
+      write_le(buf, f.width, 2);
+    }
+    patch_u16(buf, set_start + 2,
+              static_cast<std::uint16_t>(buf.size() - set_start));
+  }
+
+  if (!records.empty()) {
+    const std::size_t set_start = buf.size();
+    write_le(buf, tmpl.id, 2);
+    write_le(buf, 0, 2);
+    for (const auto& r : records) {
+      for (const auto& f : tmpl.fields) {
+        write_le(buf, field_value(r, f.id), f.width);
+      }
+    }
+    patch_u16(buf, set_start + 2,
+              static_cast<std::uint16_t>(buf.size() - set_start));
+  }
+
+  patch_u16(buf, 2, static_cast<std::uint16_t>(buf.size()));
+  return buf;
+}
+
+std::optional<DecodedMessage> decode_message(
+    const std::vector<std::uint8_t>& payload, TemplateStore& store) {
+  std::size_t at = 0;
+  std::uint64_t v = 0;
+  DecodedMessage msg;
+
+  if (!read_le(payload, at, 2, v)) return std::nullopt;
+  msg.header.version = static_cast<std::uint16_t>(v);
+  if (msg.header.version != MessageHeader::kVersion) return std::nullopt;
+  if (!read_le(payload, at, 2, v)) return std::nullopt;
+  const std::size_t total_length = v;
+  if (total_length < kHeaderBytes || total_length > payload.size()) {
+    return std::nullopt;
+  }
+  if (!read_le(payload, at, 8, v)) return std::nullopt;
+  msg.header.export_time = sim::SimTime{static_cast<std::int64_t>(v)};
+  if (!read_le(payload, at, 4, v)) return std::nullopt;
+  msg.header.sequence = static_cast<std::uint32_t>(v);
+  if (!read_le(payload, at, 4, v)) return std::nullopt;
+  msg.header.observation_domain = static_cast<std::uint32_t>(v);
+
+  while (at + 4 <= total_length) {
+    const std::size_t set_start = at;
+    std::uint64_t set_id = 0, set_len = 0;
+    if (!read_le(payload, at, 2, set_id)) return std::nullopt;
+    if (!read_le(payload, at, 2, set_len)) return std::nullopt;
+    if (set_len < 4 || set_start + set_len > total_length) {
+      return std::nullopt;
+    }
+    const std::size_t set_end = set_start + set_len;
+
+    if (set_id == kTemplateSetId) {
+      while (at + 4 <= set_end) {
+        Template tmpl;
+        if (!read_le(payload, at, 2, v)) return std::nullopt;
+        tmpl.id = static_cast<std::uint16_t>(v);
+        std::uint64_t field_count = 0;
+        if (!read_le(payload, at, 2, field_count)) return std::nullopt;
+        if (at + field_count * 4 > set_end) return std::nullopt;
+        for (std::uint64_t i = 0; i < field_count; ++i) {
+          std::uint64_t id = 0, width = 0;
+          read_le(payload, at, 2, id);
+          read_le(payload, at, 2, width);
+          if (width == 0 || width > 8) return std::nullopt;
+          tmpl.fields.push_back({static_cast<FieldId>(id),
+                                 static_cast<std::uint8_t>(width)});
+        }
+        store.learn(msg.header.observation_domain, tmpl);
+        ++msg.templates_learned;
+      }
+    } else if (set_id >= 256) {
+      const Template* tmpl = store.find(msg.header.observation_domain,
+                                        static_cast<std::uint16_t>(set_id));
+      if (tmpl == nullptr || tmpl->record_bytes() == 0) {
+        // Unknown template: count the payload as skipped records as best
+        // we can (one opaque blob).
+        ++msg.records_without_template;
+        at = set_end;
+        continue;
+      }
+      while (at + tmpl->record_bytes() <= set_end) {
+        ExportRecord r;
+        for (const auto& f : tmpl->fields) {
+          if (!read_le(payload, at, f.width, v)) return std::nullopt;
+          assign_field(r, f.id, v);
+        }
+        msg.records.push_back(r);
+      }
+      at = set_end;  // trailing padding, if any
+    } else {
+      at = set_end;  // unknown low set id: skip
+    }
+  }
+  return msg;
+}
+
+}  // namespace steelnet::flowmon

@@ -1,0 +1,125 @@
+// steelnet::flowmon -- the export wire format.
+//
+// An IPFIX-shaped (RFC 7011-flavoured) message codec: a message header,
+// template sets describing record layouts field-by-field, and data sets
+// of fixed-size records. The collector decodes data records *through the
+// template it learned*, skipping unknown fields by width -- so meter and
+// collector can evolve independently, exactly the property templates buy
+// real IPFIX deployments. Messages travel as net::Frame payloads
+// (EtherType::kFlowmonExport), little-endian like the rest of steelnet's
+// on-wire payloads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "flowmon/flow_cache.hpp"
+
+namespace steelnet::flowmon {
+
+/// Field identifiers. Where IANA defines a fitting information element
+/// the id matches; cadence fields live in a private range.
+enum class FieldId : std::uint16_t {
+  kOctets = 1,         ///< payload octets (octetDeltaCount)
+  kPackets = 2,        ///< packetDeltaCount
+  kSrcMac = 56,        ///< sourceMacAddress, 6 bytes
+  kDstMac = 80,        ///< destinationMacAddress, 6 bytes
+  kEndReason = 136,    ///< flowEndReason
+  kFirstSeenNs = 156,  ///< flowStartNanoseconds
+  kLastSeenNs = 157,   ///< flowEndNanoseconds
+  kVlanPcp = 244,      ///< dot1qPriority
+  kEtherType = 256,    ///< ethernetType
+  kLayer2Octets = 352, ///< layer2OctetDeltaCount
+  // Private enterprise range: cadence statistics.
+  kMinIatNs = 0x8001,
+  kMeanIatNs = 0x8002,
+  kJitterNs = 0x8003,
+};
+
+/// Why a record was exported (values follow IPFIX flowEndReason).
+enum class EndReason : std::uint8_t {
+  kIdleTimeout = 0x01,   ///< flow went silent; record evicted
+  kActiveTimeout = 0x02, ///< long-lived flow checkpoint; flow still live
+  kEndOfFlow = 0x03,     ///< protocol-level end (unused by the L2 meter)
+  kForcedEnd = 0x04,     ///< meter flushed (end of observation)
+  kLackOfResources = 0x05,
+};
+
+struct TemplateField {
+  FieldId id;
+  std::uint8_t width;  ///< octets on the wire
+};
+
+struct Template {
+  std::uint16_t id = 0;  ///< data-set ids start at 256, like IPFIX
+  std::vector<TemplateField> fields;
+
+  [[nodiscard]] std::size_t record_bytes() const;
+};
+
+/// The flow-record template this meter exports (id 256).
+[[nodiscard]] const Template& flow_template();
+
+/// One decoded flow record.
+struct ExportRecord {
+  FlowKey key;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t wire_bytes = 0;
+  sim::SimTime first_seen;
+  sim::SimTime last_seen;
+  sim::SimTime min_iat;
+  sim::SimTime mean_iat;
+  sim::SimTime jitter;
+  EndReason end_reason = EndReason::kEndOfFlow;
+};
+
+/// Snapshot of a cache record for export.
+[[nodiscard]] ExportRecord to_export_record(const FlowRecord& r,
+                                            EndReason reason);
+
+struct MessageHeader {
+  std::uint16_t version = kVersion;
+  std::uint32_t observation_domain = 0;
+  /// Count of data records ever exported before this message (IPFIX
+  /// sequence semantics: lets the collector detect lost records).
+  std::uint32_t sequence = 0;
+  sim::SimTime export_time;
+
+  static constexpr std::uint16_t kVersion = 10;  ///< IPFIX version number
+};
+
+/// Learned templates, keyed on (observation domain, template id).
+class TemplateStore {
+ public:
+  void learn(std::uint32_t domain, Template tmpl);
+  [[nodiscard]] const Template* find(std::uint32_t domain,
+                                     std::uint16_t template_id) const;
+  [[nodiscard]] std::size_t size() const { return templates_.size(); }
+
+ private:
+  std::map<std::pair<std::uint32_t, std::uint16_t>, Template> templates_;
+};
+
+/// Serializes one export message: header, optionally the template set,
+/// then one data set carrying `records` laid out per `tmpl`.
+[[nodiscard]] std::vector<std::uint8_t> encode_message(
+    const MessageHeader& header, const Template& tmpl, bool include_template,
+    const std::vector<ExportRecord>& records);
+
+struct DecodedMessage {
+  MessageHeader header;
+  std::uint16_t templates_learned = 0;
+  std::vector<ExportRecord> records;
+  /// Data records skipped because their template was unknown.
+  std::uint16_t records_without_template = 0;
+};
+
+/// Parses a message, learning templates into `store` and decoding data
+/// records through it. Returns nullopt on a malformed buffer.
+[[nodiscard]] std::optional<DecodedMessage> decode_message(
+    const std::vector<std::uint8_t>& payload, TemplateStore& store);
+
+}  // namespace steelnet::flowmon

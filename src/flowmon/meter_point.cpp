@@ -1,0 +1,126 @@
+#include "flowmon/meter_point.hpp"
+
+#include <algorithm>
+
+#include "net/network.hpp"
+
+namespace steelnet::flowmon {
+
+MeterPoint::MeterPoint(net::Node& observed, net::HostNode& export_nic,
+                       MeterConfig cfg)
+    : observed_(observed),
+      export_nic_(export_nic),
+      cfg_(cfg),
+      cache_(cfg.cache_capacity) {
+  observed_.add_frame_observer(this);
+  sim::Simulator& sim = observed_.network().sim();
+  sweeper_ = std::make_unique<sim::PeriodicTask>(
+      sim, sim.now() + cfg_.export_interval, cfg_.export_interval,
+      [this] { sweep(); });
+}
+
+MeterPoint::~MeterPoint() { observed_.remove_frame_observer(this); }
+
+void MeterPoint::on_frame(const net::Frame& frame, net::PortId in_port) {
+  (void)in_port;
+  if (!cfg_.meter_exports &&
+      frame.ethertype == net::EtherType::kFlowmonExport) {
+    ++stats_.frames_ignored;
+    return;
+  }
+  ++stats_.frames_seen;
+  cache_.record(frame, observed_.network().sim().now());
+}
+
+void MeterPoint::sweep() {
+  const sim::SimTime now = observed_.network().sim().now();
+  std::vector<ExportRecord> out;
+  std::vector<FlowKey> evict;
+  cache_.for_each([&](FlowRecord& r) {
+    if (now - r.last_seen >= cfg_.idle_timeout) {
+      out.push_back(to_export_record(r, EndReason::kIdleTimeout));
+      evict.push_back(r.key);
+      ++stats_.idle_expired;
+    } else if (now - r.last_export >= cfg_.active_timeout) {
+      out.push_back(to_export_record(r, EndReason::kActiveTimeout));
+      r.last_export = now;
+      ++stats_.active_checkpoints;
+    }
+  });
+  for (const FlowKey& k : evict) cache_.erase(k);
+  if (!out.empty()) export_records(std::move(out));
+}
+
+void MeterPoint::flush() {
+  std::vector<ExportRecord> out;
+  std::vector<FlowKey> evict;
+  cache_.for_each([&](FlowRecord& r) {
+    out.push_back(to_export_record(r, EndReason::kForcedEnd));
+    evict.push_back(r.key);
+    ++stats_.flushed;
+  });
+  for (const FlowKey& k : evict) cache_.erase(k);
+  if (!out.empty()) export_records(std::move(out));
+}
+
+void MeterPoint::export_records(std::vector<ExportRecord> records) {
+  const sim::SimTime now = observed_.network().sim().now();
+  for (std::size_t off = 0; off < records.size();
+       off += cfg_.max_records_per_frame) {
+    const std::size_t n =
+        std::min(cfg_.max_records_per_frame, records.size() - off);
+    const std::vector<ExportRecord> chunk(records.begin() + off,
+                                          records.begin() + off + n);
+    const bool with_template = frames_since_template_ == 0;
+    if (++frames_since_template_ >= cfg_.template_refresh_frames) {
+      frames_since_template_ = 0;
+    }
+
+    MessageHeader header;
+    header.observation_domain = cfg_.observation_domain;
+    header.sequence = sequence_;
+    header.export_time = now;
+    sequence_ += static_cast<std::uint32_t>(n);
+
+    net::Frame frame;
+    frame.dst = cfg_.collector_mac;
+    frame.ethertype = net::EtherType::kFlowmonExport;
+    frame.pcp = cfg_.export_pcp;
+    frame.payload =
+        encode_message(header, flow_template(), with_template, chunk);
+    export_nic_.send(std::move(frame));
+    ++stats_.export_frames;
+    stats_.records_exported += n;
+  }
+}
+
+std::optional<sim::SimTime> MeterPoint::last_seen(const FlowKey& key) const {
+  const FlowRecord* r = cache_.find(key);
+  if (r == nullptr) return std::nullopt;
+  return r->last_seen;
+}
+
+std::optional<sim::SimTime> MeterPoint::last_seen_from(
+    net::MacAddress src) const {
+  std::optional<sim::SimTime> best;
+  cache_.for_each([&](const FlowRecord& r) {
+    if (r.key.src == src && (!best || r.last_seen > *best)) {
+      best = r.last_seen;
+    }
+  });
+  return best;
+}
+
+std::optional<std::int64_t> MeterPoint::silent_cycles(
+    const FlowKey& key, sim::SimTime cycle, sim::SimTime now) const {
+  const auto seen = last_seen(key);
+  if (!seen || cycle <= sim::SimTime::zero()) return std::nullopt;
+  return (now - *seen) / cycle;
+}
+
+std::function<std::optional<sim::SimTime>()> make_liveness_probe(
+    const MeterPoint& meter, net::MacAddress src) {
+  return [&meter, src] { return meter.last_seen_from(src); };
+}
+
+}  // namespace steelnet::flowmon

@@ -1,0 +1,114 @@
+// steelnet::flowmon -- the in-network metering process.
+//
+// A MeterPoint attaches to any net::Node (switch, host, sdn switch) via
+// the Node frame-observer hook -- a port mirror, invisible to the
+// forwarding path -- meters every arriving frame into a FlowCache, and
+// exports IPFIX-style records toward a collector. Export is real traffic:
+// records are serialized into net::Frame payloads and sent through the
+// attached export NIC (a HostNode, the meter's management port), so
+// telemetry contends for the network like any other flow and identical
+// seeds yield identical export traces.
+//
+// Expiry is event-driven: a periodic sweep (export_interval) evicts flows
+// silent for idle_timeout (exported with EndReason::kIdleTimeout) and
+// checkpoints long-lived flows every active_timeout
+// (EndReason::kActiveTimeout) -- the standard IPFIX metering-process
+// behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "flowmon/flow_cache.hpp"
+#include "flowmon/ipfix.hpp"
+#include "net/host_node.hpp"
+#include "sim/simulator.hpp"
+
+namespace steelnet::flowmon {
+
+struct MeterConfig {
+  std::size_t cache_capacity = 4096;
+  /// Silence after which a flow is considered over and evicted.
+  sim::SimTime idle_timeout = sim::milliseconds(500);
+  /// Checkpoint interval for still-running flows.
+  sim::SimTime active_timeout = sim::seconds(1);
+  /// Sweep cadence (also bounds export latency).
+  sim::SimTime export_interval = sim::milliseconds(100);
+  /// Destination of export frames.
+  net::MacAddress collector_mac;
+  std::uint32_t observation_domain = 1;
+  std::uint8_t export_pcp = 0;
+  /// Records per export frame; 16 x 80 B records fit a 1.4 kB payload.
+  std::size_t max_records_per_frame = 16;
+  /// Resend the template every N export frames (IPFIX re-advertisement).
+  std::uint32_t template_refresh_frames = 16;
+  /// Meter the telemetry itself? Off by default so export traffic does
+  /// not show up in the measured mix.
+  bool meter_exports = false;
+};
+
+struct MeterStats {
+  std::uint64_t frames_seen = 0;
+  std::uint64_t frames_ignored = 0;  ///< export frames, when meter_exports off
+  std::uint64_t records_exported = 0;
+  std::uint64_t export_frames = 0;
+  std::uint64_t idle_expired = 0;
+  std::uint64_t active_checkpoints = 0;
+  std::uint64_t flushed = 0;
+};
+
+class MeterPoint : public net::FrameObserver {
+ public:
+  /// Taps `observed` and exports via `export_nic` (not owned; both must be
+  /// attached to a Network already). Detaches itself on destruction.
+  MeterPoint(net::Node& observed, net::HostNode& export_nic, MeterConfig cfg);
+  ~MeterPoint() override;
+  MeterPoint(const MeterPoint&) = delete;
+  MeterPoint& operator=(const MeterPoint&) = delete;
+
+  void on_frame(const net::Frame& frame, net::PortId in_port) override;
+
+  /// Exports every remaining record (EndReason::kForcedEnd) and empties
+  /// the cache -- call at the end of an observation window. Flows still
+  /// live at flush time are what the collector reports as open-ended.
+  void flush();
+
+  [[nodiscard]] const FlowCache& cache() const { return cache_; }
+  [[nodiscard]] const MeterStats& stats() const { return stats_; }
+  [[nodiscard]] const MeterConfig& config() const { return cfg_; }
+
+  /// Liveness view: when was `key` last seen, if it is in the cache.
+  [[nodiscard]] std::optional<sim::SimTime> last_seen(
+      const FlowKey& key) const;
+  /// Last frame seen from `src` across all of its flows (scan).
+  [[nodiscard]] std::optional<sim::SimTime> last_seen_from(
+      net::MacAddress src) const;
+  /// Whole `cycle` periods `key` has been silent for at `now`; nullopt if
+  /// the flow is not (or no longer) in the cache.
+  [[nodiscard]] std::optional<std::int64_t> silent_cycles(
+      const FlowKey& key, sim::SimTime cycle, sim::SimTime now) const;
+
+ private:
+  void sweep();
+  void export_records(std::vector<ExportRecord> records);
+
+  net::Node& observed_;
+  net::HostNode& export_nic_;
+  MeterConfig cfg_;
+  FlowCache cache_;
+  std::unique_ptr<sim::PeriodicTask> sweeper_;
+  std::uint32_t sequence_ = 0;
+  std::uint32_t frames_since_template_ = 0;
+  MeterStats stats_;
+};
+
+/// An InstaPLC-compatible liveness probe: reports the last time any flow
+/// sourced by `src` was observed at the meter. Plugs into
+/// instaplc::InstaPlcApp::set_liveness_probe so the switchover monitor
+/// runs off in-network flow telemetry instead of the bespoke counter.
+[[nodiscard]] std::function<std::optional<sim::SimTime>()>
+make_liveness_probe(const MeterPoint& meter, net::MacAddress src);
+
+}  // namespace steelnet::flowmon

@@ -1,0 +1,68 @@
+// steelnet::flowmon -- the measured §2.3 workload.
+//
+// Where core::generate_mix *synthesizes* FlowStats offline, this scenario
+// actually runs the mixed DC + vPLC workload through a simulated switch,
+// meters it in-network with a MeterPoint, ships IPFIX-style records to a
+// CollectorNode over the same network, and returns classifier inputs that
+// were *measured*, not configured. Volumes and the observation window are
+// scaled down (seconds, megabytes) so the bench stays laptop-fast; the
+// class boundaries scale with them (thresholds()), preserving the
+// taxonomy's shape -- including the §2.3 punchline that never-ending
+// deterministic microflows are recognized from cadence alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/traffic_mix.hpp"
+#include "flowmon/collector.hpp"
+#include "flowmon/meter_point.hpp"
+
+namespace steelnet::flowmon {
+
+struct MeasuredMixSpec {
+  std::size_t mice = 350;
+  std::size_t medium = 60;
+  std::size_t elephants = 8;
+  std::size_t vplc_flows = 40;
+  /// Hosts originating the DC-side (mice/medium/elephant) flows, and
+  /// hosts dedicated to vPLC traffic (own NICs, so bulk queueing cannot
+  /// disturb the control cadence -- as a real deployment would separate
+  /// them).
+  std::size_t dc_hosts = 6;
+  std::size_t vplc_hosts = 4;
+  sim::SimTime observation = sim::seconds(2);
+  std::uint64_t seed = 7;
+  MeterConfig meter;  ///< collector_mac is filled in by the scenario
+
+  /// Class boundaries scaled to the shrunken volumes: the elephant
+  /// boundary drops from 1 GB (hour-long observation) to 1 MB
+  /// (2 s window); mice and the microflow payload ceiling are unscaled.
+  [[nodiscard]] core::ClassifierThresholds thresholds() const {
+    core::ClassifierThresholds t;
+    t.elephant_min_bytes = 1024ull * 1024;
+    return t;
+  }
+};
+
+struct MeasuredMixResult {
+  /// Measured flows as seen by the collector (sorted by key).
+  std::vector<FlowView> flows;
+  /// The same flows as classifier inputs.
+  std::vector<core::FlowStats> measured;
+  MeterStats meter;
+  FlowCacheStats cache;
+  CollectorCounters collector;
+  /// Ground truth for cross-checks: flows configured, frames sent.
+  std::size_t flows_offered = 0;
+  std::uint64_t frames_sent = 0;
+  /// Collector fingerprint -- identical seeds must reproduce it exactly.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Builds the star network (senders + switch + sink + export NIC +
+/// collector), runs the workload for spec.observation, flushes the meter,
+/// drains the simulator, and returns the measured view.
+[[nodiscard]] MeasuredMixResult run_measured_mix(const MeasuredMixSpec& spec);
+
+}  // namespace steelnet::flowmon

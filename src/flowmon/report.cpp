@@ -1,0 +1,58 @@
+#include "flowmon/report.hpp"
+
+#include <algorithm>
+
+#include "core/report.hpp"
+
+namespace steelnet::flowmon {
+
+std::string flows_table(const std::vector<FlowView>& flows,
+                        std::size_t limit) {
+  std::vector<const FlowView*> by_bytes;
+  by_bytes.reserve(flows.size());
+  for (const auto& f : flows) by_bytes.push_back(&f);
+  std::stable_sort(by_bytes.begin(), by_bytes.end(),
+                   [](const FlowView* a, const FlowView* b) {
+                     return a->bytes > b->bytes;
+                   });
+  if (limit != 0 && by_bytes.size() > limit) by_bytes.resize(limit);
+
+  core::TextTable table({"flow", "pkts", "bytes", "dur (ms)",
+                         "mean IAT (us)", "jitter (us)", "inc", "periodic",
+                         "open-ended"});
+  for (const FlowView* f : by_bytes) {
+    table.add_row({f->key.to_string(), std::to_string(f->packets),
+                   std::to_string(f->bytes),
+                   core::TextTable::num(f->duration().seconds() * 1e3),
+                   core::TextTable::num(double(f->mean_iat.nanos()) / 1e3),
+                   core::TextTable::num(double(f->jitter.nanos()) / 1e3),
+                   std::to_string(f->incarnations),
+                   f->periodic ? "yes" : "no",
+                   f->open_ended ? "yes" : "no"});
+  }
+  return table.to_string();
+}
+
+std::string flows_csv(const std::vector<FlowView>& flows) {
+  core::CsvWriter csv({"src", "dst", "pcp", "ethertype", "packets", "bytes",
+                       "wire_bytes", "first_seen_ns", "last_seen_ns",
+                       "min_iat_ns", "mean_iat_ns", "jitter_ns",
+                       "incarnations", "periodic", "open_ended"});
+  for (const auto& f : flows) {
+    csv.add_row({f.key.src.to_string(), f.key.dst.to_string(),
+                 std::to_string(unsigned(f.key.pcp)),
+                 std::to_string(unsigned(f.key.ethertype)),
+                 std::to_string(f.packets), std::to_string(f.bytes),
+                 std::to_string(f.wire_bytes),
+                 std::to_string(f.first_seen.nanos()),
+                 std::to_string(f.last_seen.nanos()),
+                 std::to_string(f.min_iat.nanos()),
+                 std::to_string(f.mean_iat.nanos()),
+                 std::to_string(f.jitter.nanos()),
+                 std::to_string(f.incarnations), f.periodic ? "1" : "0",
+                 f.open_ended ? "1" : "0"});
+  }
+  return csv.to_string();
+}
+
+}  // namespace steelnet::flowmon

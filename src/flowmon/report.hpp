@@ -1,0 +1,21 @@
+// steelnet::flowmon -- human- and machine-readable views of measured
+// flows, for benches and offline analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flowmon/collector.hpp"
+
+namespace steelnet::flowmon {
+
+/// Fixed-width console table of measured flows (top `limit` by bytes;
+/// 0 = all), via core::TextTable.
+[[nodiscard]] std::string flows_table(const std::vector<FlowView>& flows,
+                                      std::size_t limit = 20);
+
+/// CSV export of every measured flow (core::CsvWriter) -- one row per
+/// flow, all FlowView fields, stable column order.
+[[nodiscard]] std::string flows_csv(const std::vector<FlowView>& flows);
+
+}  // namespace steelnet::flowmon

@@ -10,6 +10,7 @@ void EgressQueue::enqueue(Frame frame) {
   const std::uint8_t pcp = frame.pcp & 0x7;
   if (capacity_ != 0 && queues_[pcp].size() >= capacity_) {
     ++counters_.dropped_overflow;
+    owner_.on_egress_drop(port_, frame);
     return;
   }
   ++counters_.enqueued;

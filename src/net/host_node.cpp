@@ -23,6 +23,7 @@ void HostNode::send(Frame frame) {
 }
 
 void HostNode::handle_frame(Frame frame, PortId in_port) {
+  observe_frame(frame, in_port);
   (void)in_port;
   // NIC destination filter: unicast frames for somebody else (flooded by
   // a learning switch) are dropped before any processing.

@@ -56,6 +56,7 @@ enum class EtherType : std::uint16_t {
   kProfinetRt = 0x8892,  ///< PROFINET cyclic real-time
   kPtp = 0x88f7,         ///< IEEE 1588
   kExperimental = 0x88b5,
+  kFlowmonExport = 0x88b6,  ///< flowmon IPFIX-style telemetry export
 };
 
 }  // namespace steelnet::net

@@ -1,8 +1,10 @@
 // steelnet::net -- node and gate-controller interfaces.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "net/frame.hpp"
 #include "sim/time.hpp"
@@ -15,6 +17,16 @@ using PortId = std::uint16_t;
 constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 
 class Network;
+
+/// A passive ingress tap: sees every frame a node receives, read-only,
+/// before the node processes it (port-mirror / SPAN semantics). Attached
+/// via Node::add_frame_observer; steelnet::flowmon's MeterPoint is the
+/// main implementation.
+class FrameObserver {
+ public:
+  virtual ~FrameObserver() = default;
+  virtual void on_frame(const Frame& frame, PortId in_port) = 0;
+};
 
 /// A device attached to the network. Subclasses: SwitchNode, HostNode,
 /// TapNode, SdnSwitchNode, ...
@@ -29,12 +41,33 @@ class Node {
   /// frames may be transmitted. Default: nothing.
   virtual void on_channel_idle(PortId port) { (void)port; }
 
+  /// Called by the node's own EgressQueue when a frame is dropped because
+  /// a priority queue is full. Default: nothing.
+  virtual void on_egress_drop(PortId port, const Frame& frame) {
+    (void)port;
+    (void)frame;
+  }
+
+  /// Registers/removes an ingress tap. Observers are not owned and must
+  /// outlive the node or detach first.
+  void add_frame_observer(FrameObserver* obs) { observers_.push_back(obs); }
+  void remove_frame_observer(FrameObserver* obs) {
+    observers_.erase(std::remove(observers_.begin(), observers_.end(), obs),
+                     observers_.end());
+  }
+
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Network& network() const { return *network_; }
 
  protected:
   Node() = default;
+
+  /// Subclasses call this at the top of handle_frame so attached taps see
+  /// every arriving frame.
+  void observe_frame(const Frame& frame, PortId in_port) {
+    for (auto* obs : observers_) obs->on_frame(frame, in_port);
+  }
 
  private:
   friend class Network;
@@ -47,6 +80,7 @@ class Node {
   Network* network_ = nullptr;
   NodeId id_ = kInvalidNode;
   std::string name_;
+  std::vector<FrameObserver*> observers_;
 };
 
 /// Transmission gating hook (implemented by the TSN time-aware shaper).

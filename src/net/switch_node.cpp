@@ -34,6 +34,7 @@ const EgressCounters& SwitchNode::port_counters(PortId port) const {
 }
 
 void SwitchNode::handle_frame(Frame frame, PortId in_port) {
+  observe_frame(frame, in_port);
   ++counters_.frames_in;
   if (cfg_.mac_learning && !frame.src.is_multicast()) {
     fdb_[frame.src.bits()] = in_port;
@@ -71,6 +72,12 @@ void SwitchNode::forward(Frame frame, PortId out_port) {
 
 void SwitchNode::on_channel_idle(PortId port) {
   if (port < egress_.size() && egress_[port]) egress_[port]->drain();
+}
+
+void SwitchNode::on_egress_drop(PortId port, const Frame& frame) {
+  (void)port;
+  (void)frame;
+  ++counters_.frames_dropped_overflow;
 }
 
 }  // namespace steelnet::net

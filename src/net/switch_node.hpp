@@ -29,6 +29,9 @@ struct SwitchCounters {
   std::uint64_t frames_forwarded = 0;
   std::uint64_t frames_flooded = 0;
   std::uint64_t frames_dropped_unknown = 0;
+  /// Frames lost to full egress priority queues, summed over all ports
+  /// (per-port breakdown: port_counters(p).dropped_overflow).
+  std::uint64_t frames_dropped_overflow = 0;
 };
 
 class SwitchNode : public Node {
@@ -37,6 +40,7 @@ class SwitchNode : public Node {
 
   void handle_frame(Frame frame, PortId in_port) override;
   void on_channel_idle(PortId port) override;
+  void on_egress_drop(PortId port, const Frame& frame) override;
 
   /// Installs a static forwarding entry (used by Topology routing).
   void add_fdb_entry(MacAddress mac, PortId out_port);

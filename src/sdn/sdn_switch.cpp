@@ -14,6 +14,7 @@ net::EgressQueue& SdnSwitchNode::queue_for(net::PortId port) {
 }
 
 void SdnSwitchNode::handle_frame(net::Frame frame, net::PortId in_port) {
+  observe_frame(frame, in_port);
   ++counters_.frames_in;
   if (inspector_) inspector_(frame, in_port);
   network().sim().schedule_in(

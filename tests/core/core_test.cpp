@@ -85,6 +85,93 @@ TEST(TrafficMix, LargePacketPeriodicFlowIsNotMicro) {
   EXPECT_EQ(classify(f), FlowClass::kMedium);
 }
 
+TEST(TrafficMix, BoundaryBytesExactlyAtThresholds) {
+  const ClassifierThresholds t;
+  FlowStats f;
+  // Exactly at mice_max_bytes is still a mouse (boundary inclusive) ...
+  f.total_bytes = t.mice_max_bytes;
+  EXPECT_EQ(classify(f), FlowClass::kMice);
+  // ... one byte past it is medium.
+  f.total_bytes = t.mice_max_bytes + 1;
+  EXPECT_EQ(classify(f), FlowClass::kMedium);
+  // One byte short of the elephant boundary is medium; exactly at it,
+  // elephant (boundary inclusive).
+  f.total_bytes = t.elephant_min_bytes - 1;
+  EXPECT_EQ(classify(f), FlowClass::kMedium);
+  f.total_bytes = t.elephant_min_bytes;
+  EXPECT_EQ(classify(f), FlowClass::kElephant);
+}
+
+TEST(TrafficMix, MicroPacketCeilingBoundary) {
+  const ClassifierThresholds t;
+  FlowStats f;
+  f.periodic = true;
+  f.open_ended = true;
+  f.total_bytes = 100 * 1024;
+  // Exactly at the §2.3 payload ceiling: still a microflow.
+  f.mean_packet_bytes = t.micro_packet_max_bytes;
+  EXPECT_EQ(classify(f), FlowClass::kDeterministicMicroflow);
+  // One byte over: falls back to the byte taxonomy.
+  f.mean_packet_bytes = t.micro_packet_max_bytes + 1;
+  EXPECT_EQ(classify(f), FlowClass::kMedium);
+}
+
+TEST(TrafficMix, ElephantSizedPeriodicOpenEndedFlowIsMicro) {
+  // §2.3's central case: a never-ending cyclic control flow accumulates
+  // elephant-scale bytes, yet must not classify as an elephant.
+  FlowStats f;
+  f.periodic = true;
+  f.open_ended = true;
+  f.mean_packet_bytes = 50;
+  f.total_bytes = 5ull * 1024 * 1024 * 1024;
+  EXPECT_EQ(classify(f), FlowClass::kDeterministicMicroflow);
+  EXPECT_EQ(classify_bytes_only(f), FlowClass::kElephant);
+}
+
+TEST(TrafficMix, ClassifyBytesOnlyDivergesOnlyOnMicroflows) {
+  // classify and classify_bytes_only agree unless the microflow triple
+  // (periodic, open-ended, tiny packets) holds -- each leg alone is not
+  // enough to diverge.
+  const ClassifierThresholds t;
+  FlowStats f;
+  f.total_bytes = 100 * 1024;
+  f.mean_packet_bytes = 50;
+  for (int mask = 0; mask < 4; ++mask) {
+    f.periodic = (mask & 1) != 0;
+    f.open_ended = (mask & 2) != 0;
+    if (f.periodic && f.open_ended) continue;
+    EXPECT_EQ(classify(f, t), classify_bytes_only(f, t));
+  }
+  f.periodic = true;
+  f.open_ended = true;
+  EXPECT_NE(classify(f, t), classify_bytes_only(f, t));
+}
+
+TEST(TrafficMix, TabulateHonorsCustomThresholds) {
+  // Scaled thresholds (as the flowmon measured window uses): a 2 MB flow
+  // is an elephant once elephant_min_bytes drops to 1 MB.
+  ClassifierThresholds scaled;
+  scaled.elephant_min_bytes = 1024 * 1024;
+  FlowStats f;
+  f.total_bytes = 2 * 1024 * 1024;
+  EXPECT_EQ(classify(f), FlowClass::kMedium);
+  EXPECT_EQ(classify(f, scaled), FlowClass::kElephant);
+  const auto rows = tabulate_mix({f}, scaled);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].klass, "elephant");
+}
+
+TEST(CsvWriter, EscapesAndPads) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"plain", "with,comma"});
+  csv.add_row({"quote\"inside"});
+  const auto s = csv.to_string();
+  EXPECT_NE(s.find("a,b\n"), std::string::npos);
+  EXPECT_NE(s.find("plain,\"with,comma\"\n"), std::string::npos);
+  // Embedded quote doubled, short row padded to the header width.
+  EXPECT_NE(s.find("\"quote\"\"inside\",\n"), std::string::npos);
+}
+
 TEST(TrafficMix, GeneratedMixHasAllClasses) {
   const auto flows = generate_mix(MixSpec{});
   const auto rows = tabulate_mix(flows);

@@ -1,0 +1,150 @@
+#include "flowmon/flow_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace steelnet::flowmon {
+namespace {
+
+using namespace steelnet::sim::literals;
+
+net::Frame make_frame(std::uint64_t src, std::uint64_t dst,
+                      std::size_t payload = 100, std::uint8_t pcp = 0) {
+  net::Frame f;
+  f.src = net::MacAddress{src};
+  f.dst = net::MacAddress{dst};
+  f.pcp = pcp;
+  f.payload.assign(payload, 0);
+  return f;
+}
+
+TEST(FlowKey, IdentityAndHashStability) {
+  const auto f = make_frame(1, 2, 64, 3);
+  const FlowKey k = FlowKey::of(f);
+  EXPECT_EQ(k.src.bits(), 1u);
+  EXPECT_EQ(k.dst.bits(), 2u);
+  EXPECT_EQ(k.pcp, 3);
+  EXPECT_EQ(k, FlowKey::of(f));
+  EXPECT_EQ(k.hash(), FlowKey::of(f).hash());
+  // Different pcp -> different flow.
+  const FlowKey k2 = FlowKey::of(make_frame(1, 2, 64, 4));
+  EXPECT_FALSE(k == k2);
+  // PCP is masked to its 3 wire bits.
+  net::Frame weird = make_frame(1, 2);
+  weird.pcp = 0x7 | 0x10;
+  EXPECT_EQ(FlowKey::of(weird).pcp, 0x7);
+}
+
+TEST(FlowCache, FindOrCreateAccumulates) {
+  FlowCache cache(64);
+  const auto f = make_frame(1, 2, 150);
+  EXPECT_NE(cache.record(f, 1_us), nullptr);
+  EXPECT_NE(cache.record(f, 2_us), nullptr);
+  const FlowRecord* r = cache.find(FlowKey::of(f));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->packets, 2u);
+  EXPECT_EQ(r->bytes, 300u);
+  // wire bytes: 150 payload + 18 L2 overhead, no VLAN tag, no padding.
+  EXPECT_EQ(r->wire_bytes, 2 * (150 + 18));
+  EXPECT_EQ(r->first_seen, 1_us);
+  EXPECT_EQ(r->last_seen, 2_us);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+}
+
+TEST(FlowCache, InterArrivalStatistics) {
+  FlowCache cache(64);
+  const auto f = make_frame(1, 2);
+  // Arrivals at 0, 100, 210, 300 us: IATs 100, 110, 90.
+  for (std::int64_t t : {0, 100, 210, 300}) {
+    cache.record(f, sim::microseconds(t));
+  }
+  const FlowRecord* r = cache.find(FlowKey::of(f));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->min_iat, 90_us);
+  EXPECT_EQ(r->max_iat, 110_us);
+  EXPECT_EQ(r->mean_iat(), 100_us);
+  // Jitter: mean of |110-100| and |90-110| = (10+20)/2 = 15 us.
+  EXPECT_EQ(r->mean_jitter(), 15_us);
+}
+
+TEST(FlowCache, IatUndefinedBelowThreePackets) {
+  FlowCache cache(64);
+  const auto f = make_frame(1, 2);
+  cache.record(f, 1_ms);
+  const FlowRecord* r = cache.find(FlowKey::of(f));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->mean_iat(), sim::SimTime::zero());
+  EXPECT_EQ(r->mean_jitter(), sim::SimTime::zero());
+  cache.record(f, 2_ms);
+  EXPECT_EQ(r->mean_iat(), 1_ms);
+  EXPECT_EQ(r->mean_jitter(), sim::SimTime::zero());
+}
+
+TEST(FlowCache, CapacityRoundsUpAndCapsLoad) {
+  FlowCache cache(10);  // rounds to 16; load cap 12
+  EXPECT_EQ(cache.capacity(), 16u);
+  EXPECT_EQ(cache.load_cap(), 12u);
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    EXPECT_NE(cache.record(make_frame(i + 1, 99), 1_us), nullptr);
+  }
+  // Table at the cap: a new flow is refused ...
+  EXPECT_EQ(cache.record(make_frame(100, 99), 2_us), nullptr);
+  EXPECT_EQ(cache.stats().dropped_full, 1u);
+  // ... but existing flows keep metering.
+  EXPECT_NE(cache.record(make_frame(5, 99), 3_us), nullptr);
+  EXPECT_EQ(cache.size(), 12u);
+}
+
+TEST(FlowCache, EraseKeepsClustersReachable) {
+  // Fill a small table to force collision clusters, erase every other
+  // flow, and verify backward-shift compaction keeps every survivor
+  // findable (the classic open-addressing deletion bug this guards).
+  FlowCache cache(32);  // load cap 24
+  std::vector<FlowKey> keys;
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    const auto f = make_frame(i * 7 + 1, 42);
+    ASSERT_NE(cache.record(f, sim::microseconds(std::int64_t(i))), nullptr);
+    keys.push_back(FlowKey::of(f));
+  }
+  for (std::size_t i = 0; i < keys.size(); i += 2) {
+    EXPECT_TRUE(cache.erase(keys[i]));
+  }
+  EXPECT_EQ(cache.size(), 12u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const FlowRecord* r = cache.find(keys[i]);
+    if (i % 2 == 0) {
+      EXPECT_EQ(r, nullptr);
+    } else {
+      ASSERT_NE(r, nullptr);
+      EXPECT_EQ(r->key, keys[i]);
+    }
+  }
+  // Erasing a missing key is a no-op.
+  EXPECT_FALSE(cache.erase(keys[0]));
+  // Freed slots are reusable.
+  for (std::size_t i = 0; i < keys.size(); i += 2) {
+    const auto f = make_frame(keys[i].src.bits(), 42);
+    EXPECT_NE(cache.record(f, 1_ms), nullptr);
+  }
+  EXPECT_EQ(cache.size(), 24u);
+}
+
+TEST(FlowCache, ForEachVisitsEveryLiveRecord) {
+  FlowCache cache(64);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    cache.record(make_frame(i, 2), 1_us);
+  }
+  std::size_t seen = 0;
+  std::uint64_t src_sum = 0;
+  cache.for_each([&](const FlowRecord& r) {
+    ++seen;
+    src_sum += r.key.src.bits();
+  });
+  EXPECT_EQ(seen, 10u);
+  EXPECT_EQ(src_sum, 55u);
+}
+
+}  // namespace
+}  // namespace steelnet::flowmon

@@ -1,0 +1,172 @@
+#include "flowmon/ipfix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace steelnet::flowmon {
+namespace {
+
+using namespace steelnet::sim::literals;
+
+ExportRecord sample_record() {
+  ExportRecord r;
+  r.key.src = net::MacAddress{0x0a'1234'5678'9aULL};
+  r.key.dst = net::MacAddress{0x0c'0000'000007ULL};
+  r.key.pcp = 6;
+  r.key.ethertype = net::EtherType::kProfinetRt;
+  r.packets = 12345;
+  r.bytes = 987654;
+  r.wire_bytes = 1222333;
+  r.first_seen = 1_ms;
+  r.last_seen = 1900_ms;
+  r.min_iat = 990_us;
+  r.mean_iat = 1_ms;
+  r.jitter = 3_us;
+  r.end_reason = EndReason::kActiveTimeout;
+  return r;
+}
+
+MessageHeader header_with(std::uint32_t seq) {
+  MessageHeader h;
+  h.observation_domain = 7;
+  h.sequence = seq;
+  h.export_time = 2_s;
+  return h;
+}
+
+void expect_equal(const ExportRecord& a, const ExportRecord& b) {
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.packets, b.packets);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+  EXPECT_EQ(a.first_seen, b.first_seen);
+  EXPECT_EQ(a.last_seen, b.last_seen);
+  EXPECT_EQ(a.min_iat, b.min_iat);
+  EXPECT_EQ(a.mean_iat, b.mean_iat);
+  EXPECT_EQ(a.jitter, b.jitter);
+  EXPECT_EQ(a.end_reason, b.end_reason);
+}
+
+TEST(Ipfix, RoundTripThroughTemplate) {
+  const auto buf = encode_message(header_with(42), flow_template(),
+                                  /*include_template=*/true,
+                                  {sample_record(), sample_record()});
+  TemplateStore store;
+  const auto msg = decode_message(buf, store);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->header.version, MessageHeader::kVersion);
+  EXPECT_EQ(msg->header.observation_domain, 7u);
+  EXPECT_EQ(msg->header.sequence, 42u);
+  EXPECT_EQ(msg->header.export_time, 2_s);
+  EXPECT_EQ(msg->templates_learned, 1);
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_EQ(msg->records.size(), 2u);
+  expect_equal(msg->records[0], sample_record());
+  expect_equal(msg->records[1], sample_record());
+  EXPECT_EQ(msg->records_without_template, 0);
+}
+
+TEST(Ipfix, DataBeforeTemplateIsSkippedThenDecodesAfterLearning) {
+  TemplateStore store;
+  const auto data_only = encode_message(header_with(0), flow_template(),
+                                        /*include_template=*/false,
+                                        {sample_record()});
+  auto msg = decode_message(data_only, store);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->records.size(), 0u);
+  EXPECT_EQ(msg->records_without_template, 1);
+
+  // Template-only advertisement, then the same data decodes.
+  const auto tmpl_only = encode_message(header_with(0), flow_template(),
+                                        /*include_template=*/true, {});
+  ASSERT_TRUE(decode_message(tmpl_only, store).has_value());
+  msg = decode_message(data_only, store);
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_EQ(msg->records.size(), 1u);
+  expect_equal(msg->records[0], sample_record());
+}
+
+TEST(Ipfix, TemplatesAreScopedPerObservationDomain) {
+  TemplateStore store;
+  const auto tmpl_only = encode_message(header_with(0), flow_template(),
+                                        /*include_template=*/true, {});
+  ASSERT_TRUE(decode_message(tmpl_only, store).has_value());
+  // A different domain has not advertised template 256.
+  auto other = header_with(0);
+  other.observation_domain = 9;
+  const auto data = encode_message(other, flow_template(),
+                                   /*include_template=*/false,
+                                   {sample_record()});
+  const auto msg = decode_message(data, store);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->records.size(), 0u);
+  EXPECT_EQ(msg->records_without_template, 1);
+}
+
+TEST(Ipfix, UnknownFieldsSkippedByWidth) {
+  // A future meter exports an extra private field the collector does not
+  // understand; template-driven decode skips it by width and still gets
+  // the known fields right.
+  Template extended;
+  extended.id = 300;
+  extended.fields = {{FieldId::kSrcMac, 6},
+                     {static_cast<FieldId>(0x7777), 3},  // unknown to us
+                     {FieldId::kPackets, 8},
+                     {FieldId::kEndReason, 1}};
+  ExportRecord r;
+  r.key.src = net::MacAddress{0xbeef};
+  r.packets = 999;
+  r.end_reason = EndReason::kIdleTimeout;
+  TemplateStore store;
+  const auto buf =
+      encode_message(header_with(0), extended, /*include_template=*/true, {r});
+  const auto msg = decode_message(buf, store);
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_EQ(msg->records.size(), 1u);
+  EXPECT_EQ(msg->records[0].key.src.bits(), 0xbeefu);
+  EXPECT_EQ(msg->records[0].packets, 999u);
+  EXPECT_EQ(msg->records[0].end_reason, EndReason::kIdleTimeout);
+}
+
+TEST(Ipfix, MalformedBuffersRejected) {
+  TemplateStore store;
+  // Empty and garbage-version buffers.
+  EXPECT_FALSE(decode_message({}, store).has_value());
+  std::vector<std::uint8_t> bad(20, 0);
+  bad[0] = 99;  // version != 10
+  EXPECT_FALSE(decode_message(bad, store).has_value());
+  // A valid message truncated mid-record: total length exceeds buffer.
+  auto buf = encode_message(header_with(0), flow_template(),
+                            /*include_template=*/true, {sample_record()});
+  buf.resize(buf.size() - 10);
+  EXPECT_FALSE(decode_message(buf, store).has_value());
+  // Template advertising an absurd field width.
+  std::vector<std::uint8_t> w = encode_message(header_with(0), flow_template(),
+                                               /*include_template=*/true, {});
+  // First field width lives at header(20) + set hdr(4) + tmpl id(2) +
+  // field count(2) + field id(2); stomp it to 0.
+  w[20 + 4 + 2 + 2 + 2] = 0;
+  w[20 + 4 + 2 + 2 + 3] = 0;
+  EXPECT_FALSE(decode_message(w, store).has_value());
+}
+
+TEST(Ipfix, ExportRecordSnapshotGuardsUnsampledIat) {
+  FlowRecord r;
+  r.key.src = net::MacAddress{1};
+  r.packets = 1;
+  r.bytes = 100;
+  r.min_iat = sim::SimTime::max();  // never updated: single packet
+  const auto e = to_export_record(r, EndReason::kForcedEnd);
+  EXPECT_EQ(e.min_iat, sim::SimTime::zero());
+  EXPECT_EQ(e.mean_iat, sim::SimTime::zero());
+  EXPECT_EQ(e.jitter, sim::SimTime::zero());
+  EXPECT_EQ(e.end_reason, EndReason::kForcedEnd);
+}
+
+TEST(Ipfix, RecordBytesMatchesTemplate) {
+  // 6+6+2+1+8*8+1 = 80 bytes per record, the budget MeterConfig's
+  // max_records_per_frame is sized against.
+  EXPECT_EQ(flow_template().record_bytes(), 80u);
+}
+
+}  // namespace
+}  // namespace steelnet::flowmon

@@ -146,6 +146,11 @@ TEST(SwitchNode, QueueOverflowDrops) {
   EXPECT_LT(got, 40);
   EXPECT_GT(fx.sw->port_counters(2).dropped_overflow, 0u);
   EXPECT_EQ(got + int(fx.sw->port_counters(2).dropped_overflow), 40);
+  // The same drops must be visible at the switch level, aggregated over
+  // all ports -- here only port 2 ever overflows.
+  EXPECT_EQ(fx.sw->counters().frames_dropped_overflow,
+            fx.sw->port_counters(2).dropped_overflow);
+  EXPECT_EQ(fx.sw->counters().frames_in, 40u);
 }
 
 TEST(SwitchNode, HairpinDropped) {
