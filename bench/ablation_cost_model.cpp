@@ -5,11 +5,15 @@
 // contention, IRQs), not by the protocol or network.
 #include <iostream>
 
+#include "bench_args.hpp"
 #include "core/report.hpp"
 #include "tap/reflection.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace steelnet;
+
+  const auto args = bench::BenchArgs::parse(argc, argv, /*default_seed=*/11);
+  args.warn_obs_unsupported("ablation_cost_model");
 
   std::cout << "=== Ablation: stochastic vs deterministic eBPF cost model "
                "(TS-RB, 1 flow, 5000 packets) ===\n\n";
@@ -17,7 +21,7 @@ int main() {
   tap::ReflectionConfig stochastic;
   stochastic.variant = ebpf::ReflectorVariant::kTsRb;
   stochastic.packets = 5000;
-  stochastic.seed = 11;
+  stochastic.seed = args.seed;
   const auto rs = tap::run_traffic_reflection(stochastic);
 
   tap::ReflectionConfig deterministic = stochastic;

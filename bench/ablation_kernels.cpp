@@ -6,13 +6,17 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_args.hpp"
 #include "core/report.hpp"
 #include "host/kernel.hpp"
 #include "sim/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace steelnet;
   using namespace steelnet::sim::literals;
+
+  const auto args = bench::BenchArgs::parse(argc, argv, /*default_seed=*/17);
+  args.warn_obs_unsupported("ablation_kernels");
 
   constexpr int kSamples = 200'000;
   // A sample "misses" when the kernel stage alone eats more than half of
@@ -30,7 +34,7 @@ int main() {
   for (host::KernelKind kind :
        {host::KernelKind::kVanilla, host::KernelKind::kPreemptRt,
         host::KernelKind::kDualKernel}) {
-    host::KernelModel model(kind, /*seed=*/17);
+    host::KernelModel model(kind, args.seed);
     sim::SampleSet s;
     std::vector<bool> misses;
     misses.reserve(kSamples);

@@ -7,12 +7,16 @@
 // unobservable asymmetry bias.
 #include <iostream>
 
+#include "bench_args.hpp"
 #include "core/report.hpp"
 #include "tap/reflection.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace steelnet;
   using namespace steelnet::sim::literals;
+
+  const auto args = bench::BenchArgs::parse(argc, argv, /*default_seed=*/7);
+  args.warn_obs_unsupported("ablation_single_clock");
 
   std::cout << "=== Ablation: single-clock TAP vs two PTP clocks ===\n\n";
 
@@ -25,7 +29,7 @@ int main() {
     cfg.ptp.servo_noise = 30_ns;
     cfg.ptp.drift_ppb = 20;
     cfg.ptp.path_asymmetry = asym;
-    cfg.seed = 7;
+    cfg.seed = args.seed;
     const auto r = tap::run_traffic_reflection(cfg);
 
     sim::SampleSet err_ns;

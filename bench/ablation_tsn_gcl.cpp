@@ -6,6 +6,7 @@
 // aligned to the RT cycle, the guard band keeps the wire clear.
 #include <iostream>
 
+#include "bench_args.hpp"
 #include "core/report.hpp"
 #include "net/host_node.hpp"
 #include "net/switch_node.hpp"
@@ -65,7 +66,10 @@ sim::SampleSet run_one(bool with_gcl, int n_cycles) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = steelnet::bench::BenchArgs::parse(argc, argv);
+  args.warn_obs_unsupported("ablation_tsn_gcl");
+
   std::cout << "=== Ablation: time-aware shaping (802.1Qbv) on a shared "
                "egress port ===\n"
             << "RT flow: 84 B every 500 us at pcp 6; best-effort: 1500 B "

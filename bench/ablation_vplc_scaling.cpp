@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "bench_args.hpp"
 #include "core/report.hpp"
 #include "host/host_path.hpp"
 #include "net/switch_node.hpp"
@@ -86,7 +87,10 @@ ScalingResult run_one(std::size_t n_vplcs, sim::SimTime duration) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = steelnet::bench::BenchArgs::parse(argc, argv);
+  args.warn_obs_unsupported("ablation_vplc_scaling");
+
   std::cout << "=== §2.1: consolidating vPLCs on one server (2 ms cycles, "
                "5 s runs) ===\n\n";
   core::TextTable table({"vPLCs", "cycle error p50 (us)",

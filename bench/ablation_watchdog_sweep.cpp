@@ -8,6 +8,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_args.hpp"
 #include "core/report.hpp"
 #include "host/samplers.hpp"
 #include "host/host_path.hpp"
@@ -82,7 +83,11 @@ SweepResult run_one(std::uint16_t threshold, bool inject_failure,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = steelnet::bench::BenchArgs::parse(argc, argv,
+                                                      /*default_seed=*/101);
+  args.warn_obs_unsupported("ablation_watchdog_sweep");
+
   std::cout << "=== Ablation: InstaPLC switchover threshold (I/O cycles of "
                "primary silence) ===\n"
             << "primary vPLC on a stall-prone host (Pareto tail stalls up "
@@ -92,8 +97,8 @@ int main() {
                          "detection latency (real fail)",
                          "device watchdog trips (real fail)"});
   for (std::uint16_t threshold : {1, 2, 3, 5, 8, 16}) {
-    const auto quiet = run_one(threshold, /*inject_failure=*/false, 101);
-    const auto fail = run_one(threshold, /*inject_failure=*/true, 101);
+    const auto quiet = run_one(threshold, /*inject_failure=*/false, args.seed);
+    const auto fail = run_one(threshold, /*inject_failure=*/true, args.seed);
     table.add_row(
         {std::to_string(threshold), quiet.false_switchover ? "YES" : "no",
          fail.false_switchover ? "(false trigger)"

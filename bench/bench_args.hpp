@@ -1,0 +1,79 @@
+// Shared CLI surface of every steelnet bench binary.
+//
+// All table/figure executables accept the same four flags:
+//   --seed <n>       RNG seed (each binary keeps its historical default, so
+//                    no-arg output is unchanged)
+//   --csv            machine-readable output instead of the rendered table
+//   --trace <file>   write a Chrome-trace/Perfetto JSON of the run
+//   --metrics <file> write a Prometheus-style metrics dump of the run
+// plus --help. Binaries without an obs wiring still accept --trace and
+// --metrics but warn on stderr that nothing will be produced.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace steelnet::bench {
+
+struct BenchArgs {
+  std::uint64_t seed = 0;
+  bool csv = false;
+  std::optional<std::string> trace_path;
+  std::optional<std::string> metrics_path;
+
+  /// Parses argv; exits on --help (0) and on malformed/unknown flags (2).
+  static BenchArgs parse(int argc, char** argv,
+                         std::uint64_t default_seed = 0) {
+    BenchArgs args;
+    args.seed = default_seed;
+    const char* prog = argc > 0 ? argv[0] : "bench";
+    auto need_value = [&](int i, std::string_view flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << prog << ": " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[i + 1];
+    };
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view a = argv[i];
+      if (a == "--seed") {
+        args.seed = std::strtoull(need_value(i, a), nullptr, 0);
+        ++i;
+      } else if (a == "--csv") {
+        args.csv = true;
+      } else if (a == "--trace") {
+        args.trace_path = need_value(i, a);
+        ++i;
+      } else if (a == "--metrics") {
+        args.metrics_path = need_value(i, a);
+        ++i;
+      } else if (a == "--help" || a == "-h") {
+        std::cout << "usage: " << prog
+                  << " [--seed <n>] [--csv] [--trace <file>]"
+                     " [--metrics <file>]\n";
+        std::exit(0);
+      } else {
+        std::cerr << prog << ": unknown argument '" << a
+                  << "' (try --help)\n";
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+
+  /// For binaries without an obs wiring: warn when a trace/metrics file
+  /// was requested that this binary cannot produce.
+  void warn_obs_unsupported(const char* prog) const {
+    if (trace_path.has_value() || metrics_path.has_value()) {
+      std::cerr << prog
+                << ": this bench has no obs wiring; --trace/--metrics "
+                   "ignored\n";
+    }
+  }
+};
+
+}  // namespace steelnet::bench

@@ -8,17 +8,23 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_args.hpp"
 #include "core/report.hpp"
 #include "textmine/corpus.hpp"
 #include "textmine/terms.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace steelnet;
+
+  const auto args =
+      bench::BenchArgs::parse(argc, argv, /*default_seed=*/20251117);
+  args.warn_obs_unsupported("fig1_research_gap");
 
   std::cout << "=== Fig. 1: term occurrences (with permutations) in recent "
                "SIGCOMM/HotNets proceedings ===\n\n";
 
-  const textmine::CorpusSpec spec{};  // ~250 synthetic full papers
+  textmine::CorpusSpec spec{};  // ~250 synthetic full papers
+  spec.seed = args.seed;
   const auto docs = textmine::generate_corpus(spec);
   const auto groups = textmine::fig1_term_groups();
   const auto counts = textmine::count_terms(groups, docs);

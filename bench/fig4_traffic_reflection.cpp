@@ -11,11 +11,15 @@
 #include <memory>
 #include <vector>
 
+#include "bench_args.hpp"
 #include "core/report.hpp"
 #include "tap/reflection.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace steelnet;
+
+  const auto args = bench::BenchArgs::parse(argc, argv, /*default_seed=*/42);
+  args.warn_obs_unsupported("fig4_traffic_reflection");
 
   constexpr std::size_t kPackets = 10'000;
 
@@ -28,7 +32,7 @@ int main() {
     tap::ReflectionConfig cfg;
     cfg.variant = v;
     cfg.packets = kPackets;
-    cfg.seed = 42;
+    cfg.seed = args.seed;
     reports.push_back(std::make_unique<tap::ReflectionReport>(
         tap::run_traffic_reflection(cfg)));
     series.push_back({reports.back()->variant,
@@ -45,7 +49,7 @@ int main() {
                "===\n\n";
   tap::ReflectionConfig one;
   one.packets = kPackets;
-  one.seed = 43;
+  one.seed = args.seed + 1;
   const auto r1 = tap::run_traffic_reflection(one);
   tap::ReflectionConfig many = one;
   many.flows = 25;

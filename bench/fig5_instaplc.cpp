@@ -8,15 +8,19 @@
 //     switchover.
 #include <iostream>
 
+#include "bench_args.hpp"
 #include "core/report.hpp"
 #include "instaplc/instaplc.hpp"
 #include "profinet/controller.hpp"
 #include "profinet/io_device.hpp"
 #include "sim/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace steelnet;
   using namespace steelnet::sim::literals;
+
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  args.warn_obs_unsupported("fig5_instaplc");  // tab_obs traces this run
 
   sim::Simulator simulator;
   net::Network network{simulator};

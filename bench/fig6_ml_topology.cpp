@@ -8,12 +8,16 @@
 #include <iostream>
 #include <map>
 
+#include "bench_args.hpp"
 #include "core/report.hpp"
 #include "mlnet/inference.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace steelnet;
   using namespace steelnet::sim::literals;
+
+  const auto args = bench::BenchArgs::parse(argc, argv, /*default_seed=*/1234);
+  args.warn_obs_unsupported("fig6_ml_topology");
 
   const std::vector<std::size_t> client_counts{32, 64, 128, 256};
 
@@ -32,7 +36,7 @@ int main() {
         cfg.app = app;
         cfg.clients = n;
         cfg.duration = 2_s;
-        cfg.seed = 1234 + n;
+        cfg.seed = args.seed + n;
         const auto r = mlnet::run_inference_experiment(cfg);
         medians[{int(k), n}] = r.latency_ms.median();
         row.push_back(core::TextTable::num(r.latency_ms.median(), 3));

@@ -7,6 +7,7 @@
 #include "flowmon/flow_cache.hpp"
 #include "net/host_node.hpp"
 #include "net/switch_node.hpp"
+#include "obs/hub.hpp"
 #include "profinet/wire.hpp"
 #include "sdn/pipeline.hpp"
 #include "sim/event_queue.hpp"
@@ -178,6 +179,57 @@ void BM_FlowCacheHotPath(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowCacheHotPath)->Arg(64)->Arg(1024)->Arg(8192)
     ->Unit(benchmark::kMillisecond);
+
+// The entire hot-path cost of an obs hook site when no hub is attached:
+// one pointer-null test plus one trace-id test. This is the branch every
+// instrumented frame touch pays in disabled mode; the acceptance bar is
+// < 2 ns per frame.
+void BM_ObsDisabledHookGuard(benchmark::State& state) {
+  net::Frame f;
+  obs::ObsHub* hub = nullptr;
+  benchmark::DoNotOptimize(hub);
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    if (hub != nullptr && f.trace_id != 0) ++hits;
+    benchmark::DoNotOptimize(f.trace_id);
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_ObsDisabledHookGuard);
+
+// End-to-end forwarding with observability off (Arg 0) vs fully traced
+// (Arg 1): the per-item delta is the whole-path cost of span recording.
+void BM_ObsSwitchForwarding(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator simulator;
+    net::Network network{simulator};
+    obs::ObsHub hub;
+    if (traced) network.set_obs(&hub);
+    net::SwitchConfig cfg;
+    cfg.mac_learning = false;
+    auto& sw = network.add_node<net::SwitchNode>("sw", cfg);
+    auto& a = network.add_node<net::HostNode>("a", net::MacAddress{1});
+    auto& b = network.add_node<net::HostNode>("b", net::MacAddress{2});
+    network.connect(a.id(), 0, sw.id(), 0);
+    network.connect(b.id(), 0, sw.id(), 1);
+    sw.add_fdb_entry(net::MacAddress{2}, 1);
+    int got = 0;
+    b.set_receiver([&](net::Frame, sim::SimTime) { ++got; });
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      net::Frame f;
+      f.dst = net::MacAddress{2};
+      f.payload.resize(46);
+      a.send(std::move(f));
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 1000);
+}
+BENCHMARK(BM_ObsSwitchForwarding)->Arg(0)->Arg(1);
 
 void BM_SwitchForwarding(benchmark::State& state) {
   for (auto _ : state) {

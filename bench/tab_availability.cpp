@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "bench_args.hpp"
 #include "core/availability.hpp"
 #include "core/report.hpp"
 #include "instaplc/instaplc.hpp"
@@ -124,7 +125,10 @@ sim::SimTime measure_instaplc() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = steelnet::bench::BenchArgs::parse(argc, argv);
+  args.warn_obs_unsupported("tab_availability");
+
   std::cout << "=== §2.2/§4: availability per HA mechanism (measured "
                "control gap at the I/O device) ===\n\n";
 

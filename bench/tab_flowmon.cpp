@@ -4,9 +4,9 @@
 // fingerprint that pins determinism. `--csv` dumps every measured flow as
 // CSV instead (machine-readable companion to the table).
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 
+#include "bench_args.hpp"
 #include "core/report.hpp"
 #include "flowmon/mix_scenario.hpp"
 #include "flowmon/report.hpp"
@@ -14,12 +14,14 @@
 int main(int argc, char** argv) {
   using namespace steelnet;
 
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  const auto args = bench::BenchArgs::parse(argc, argv, /*default_seed=*/7);
+  args.warn_obs_unsupported("tab_flowmon");
 
   flowmon::MeasuredMixSpec spec;
+  spec.seed = args.seed;
   const auto result = flowmon::run_measured_mix(spec);
 
-  if (csv) {
+  if (args.csv) {
     std::cout << flowmon::flows_csv(result.flows);
     return 0;
   }

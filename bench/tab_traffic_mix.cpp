@@ -8,17 +8,22 @@
 // them.
 #include <iostream>
 
+#include "bench_args.hpp"
 #include "core/report.hpp"
 #include "core/traffic_mix.hpp"
 #include "flowmon/mix_scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace steelnet;
+
+  const auto args = bench::BenchArgs::parse(argc, argv, /*default_seed=*/7);
+  args.warn_obs_unsupported("tab_traffic_mix");
 
   std::cout << "=== §2.3: flow taxonomy over a mixed DC + vPLC workload, "
                "measured in-network by flowmon ===\n\n";
 
   flowmon::MeasuredMixSpec spec;
+  spec.seed = args.seed;
   const auto result = flowmon::run_measured_mix(spec);
   const auto thresholds = spec.thresholds();
   const auto rows = core::tabulate_mix(result.measured, thresholds);

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/hub.hpp"
+
 namespace steelnet::ebpf {
 
 Vm::Vm(Program program, CostParams cost, std::uint64_t seed)
@@ -28,6 +30,25 @@ void store_pkt(net::Frame& f, std::size_t off, std::size_t w,
 
 RunResult Vm::run(net::Frame& frame, sim::SimTime now) {
   ++runs_;
+  RunResult result = run_impl(frame, now);
+  insns_total_ += result.insns_executed;
+  helpers_total_ += result.helper_calls;
+  exec_ns_total_ += static_cast<std::uint64_t>(result.exec_time.nanos());
+  if (result.verdict == XdpVerdict::kAborted) ++aborts_total_;
+  return result;
+}
+
+void Vm::register_metrics(obs::ObsHub& hub,
+                          const std::string& node_label) const {
+  obs::MetricsRegistry& reg = hub.metrics();
+  reg.bind_counter({node_label, "ebpf", "runs"}, &runs_);
+  reg.bind_counter({node_label, "ebpf", "insns_total"}, &insns_total_);
+  reg.bind_counter({node_label, "ebpf", "helpers_total"}, &helpers_total_);
+  reg.bind_counter({node_label, "ebpf", "exec_ns_total"}, &exec_ns_total_);
+  reg.bind_counter({node_label, "ebpf", "aborts_total"}, &aborts_total_);
+}
+
+RunResult Vm::run_impl(net::Frame& frame, sim::SimTime now) {
   RunResult result;
   std::array<std::uint64_t, kNumRegisters> reg{};
   std::array<std::uint8_t, kStackBytes> stack{};

@@ -12,6 +12,10 @@
 #include "net/frame.hpp"
 #include "sim/time.hpp"
 
+namespace steelnet::obs {
+class ObsHub;
+}
+
 namespace steelnet::ebpf {
 
 /// Outcome of one program execution.
@@ -46,12 +50,28 @@ class Vm {
   /// Total ring-buffer drops etc. survive across runs (stateful maps).
   [[nodiscard]] std::uint64_t runs() const { return runs_; }
 
+  /// Lifetime totals over all runs (cost-model time in ns, instructions
+  /// retired, helper calls, aborted runs).
+  [[nodiscard]] std::uint64_t insns_total() const { return insns_total_; }
+  [[nodiscard]] std::uint64_t helpers_total() const { return helpers_total_; }
+  [[nodiscard]] std::uint64_t exec_ns_total() const { return exec_ns_total_; }
+  [[nodiscard]] std::uint64_t aborts_total() const { return aborts_total_; }
+
+  /// Binds run totals under `<node_label>/ebpf/...`.
+  void register_metrics(obs::ObsHub& hub, const std::string& node_label) const;
+
  private:
+  RunResult run_impl(net::Frame& frame, sim::SimTime now);
+
   Program program_;
   CostModel cost_;
   HashMap map_;
   RingBuffer ringbuf_;
   std::uint64_t runs_ = 0;
+  std::uint64_t insns_total_ = 0;
+  std::uint64_t helpers_total_ = 0;
+  std::uint64_t exec_ns_total_ = 0;
+  std::uint64_t aborts_total_ = 0;
 };
 
 }  // namespace steelnet::ebpf

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/hub.hpp"
+
 namespace steelnet::flowmon {
 
 CollectorNode::CollectorNode(net::MacAddress mac, PeriodicityConfig cfg)
@@ -143,6 +145,23 @@ std::uint64_t CollectorNode::fingerprint() const {
     mix((std::uint64_t(v.open_ended) << 1) | std::uint64_t(v.periodic));
   }
   return h;
+}
+
+void CollectorNode::register_metrics(obs::ObsHub& hub) const {
+  obs::MetricsRegistry& reg = hub.metrics();
+  const std::string& node = name();
+  reg.bind_counter({node, "flowmon", "frames_in"}, &counters_.frames_in);
+  reg.bind_counter({node, "flowmon", "frames_filtered"},
+                   &counters_.frames_filtered);
+  reg.bind_counter({node, "flowmon", "messages"}, &counters_.messages);
+  reg.bind_counter({node, "flowmon", "malformed"}, &counters_.malformed);
+  reg.bind_counter({node, "flowmon", "records"}, &counters_.records);
+  reg.bind_counter({node, "flowmon", "templates_learned"},
+                   &counters_.templates_learned);
+  reg.bind_counter({node, "flowmon", "records_without_template"},
+                   &counters_.records_without_template);
+  reg.bind_counter({node, "flowmon", "lost_records"},
+                   &counters_.lost_records);
 }
 
 }  // namespace steelnet::flowmon

@@ -18,6 +18,11 @@
 #include "core/traffic_mix.hpp"
 #include "flowmon/ipfix.hpp"
 #include "net/node.hpp"
+#include "obs/metrics.hpp"
+
+namespace steelnet::obs {
+class ObsHub;
+}
 
 namespace steelnet::flowmon {
 
@@ -36,9 +41,11 @@ struct CollectorCounters {
   std::uint64_t malformed = 0;
   std::uint64_t records = 0;
   std::uint64_t templates_learned = 0;
-  std::uint64_t records_without_template = 0;
+  /// Loss/sequence counters live on the obs metrics plane (obs::Counter
+  /// converts implicitly to uint64_t, so accessors are unchanged).
+  obs::Counter records_without_template;
   /// Gaps detected via IPFIX sequence numbers (per observation domain).
-  std::uint64_t lost_records = 0;
+  obs::Counter lost_records;
 };
 
 /// Merged view of one measured flow, across export checkpoints and
@@ -86,6 +93,9 @@ class CollectorNode : public net::Node {
   /// FNV-1a over every merged flow's fields -- pinned by golden tests:
   /// identical seeds must yield identical measured flow records.
   [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Binds pipeline counters under `<name>/flowmon/...`.
+  void register_metrics(obs::ObsHub& hub) const;
 
  private:
   struct FlowAccum {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/network.hpp"
+#include "obs/hub.hpp"
 
 namespace steelnet::flowmon {
 
@@ -116,6 +117,36 @@ std::optional<std::int64_t> MeterPoint::silent_cycles(
   const auto seen = last_seen(key);
   if (!seen || cycle <= sim::SimTime::zero()) return std::nullopt;
   return (now - *seen) / cycle;
+}
+
+void MeterPoint::register_metrics(obs::ObsHub& hub) const {
+  register_metrics(hub, observed_.name());
+}
+
+void MeterPoint::register_metrics(obs::ObsHub& hub,
+                                  const std::string& node_label) const {
+  obs::MetricsRegistry& reg = hub.metrics();
+  reg.bind_counter({node_label, "flowmon", "frames_seen"},
+                   &stats_.frames_seen);
+  reg.bind_counter({node_label, "flowmon", "frames_ignored"},
+                   &stats_.frames_ignored);
+  reg.bind_counter({node_label, "flowmon", "records_exported"},
+                   &stats_.records_exported);
+  reg.bind_counter({node_label, "flowmon", "export_frames"},
+                   &stats_.export_frames);
+  reg.bind_counter({node_label, "flowmon", "idle_expired"},
+                   &stats_.idle_expired);
+  reg.bind_counter({node_label, "flowmon", "active_checkpoints"},
+                   &stats_.active_checkpoints);
+  reg.bind_counter({node_label, "flowmon", "flushed"}, &stats_.flushed);
+  const FlowCacheStats& cs = cache_.stats();
+  reg.bind_counter({node_label, "flowcache", "lookups"}, &cs.lookups);
+  reg.bind_counter({node_label, "flowcache", "hits"}, &cs.hits);
+  reg.bind_counter({node_label, "flowcache", "inserts"}, &cs.inserts);
+  reg.bind_counter({node_label, "flowcache", "erased"}, &cs.erased);
+  reg.bind_counter({node_label, "flowcache", "probes"}, &cs.probes);
+  reg.bind_counter({node_label, "flowcache", "dropped_full"},
+                   &cs.dropped_full);
 }
 
 std::function<std::optional<sim::SimTime>()> make_liveness_probe(

@@ -1,6 +1,7 @@
 #include "instaplc/instaplc.hpp"
 
 #include "net/network.hpp"
+#include "obs/hub.hpp"
 
 namespace steelnet::instaplc {
 
@@ -205,6 +206,26 @@ void InstaPlcApp::do_switchover() {
           ar_bytes(secondary_->ar_id))});
   stats_.switchover_at = sw_.network().sim().now();
   emit(InstaPlcEvent::kSwitchover);
+}
+
+void InstaPlcApp::register_metrics(obs::ObsHub& hub,
+                                   const std::string& node_label) const {
+  obs::MetricsRegistry& reg = hub.metrics();
+  reg.bind_counter({node_label, "instaplc", "primary_cyclic"},
+                   &stats_.primary_cyclic);
+  reg.bind_counter({node_label, "instaplc", "secondary_cyclic"},
+                   &stats_.secondary_cyclic);
+  reg.bind_counter({node_label, "instaplc", "to_device"}, &stats_.to_device);
+  reg.bind_counter({node_label, "instaplc", "from_device"},
+                   &stats_.from_device);
+  reg.bind_gauge({node_label, "instaplc", "switchover_at_ns"}, [this] {
+    return stats_.switchover_at.has_value()
+               ? static_cast<double>(stats_.switchover_at->nanos())
+               : -1.0;
+  });
+  reg.bind_gauge({node_label, "instaplc", "switchovers"}, [this] {
+    return stats_.switchover_at.has_value() ? 1.0 : 0.0;
+  });
 }
 
 }  // namespace steelnet::instaplc

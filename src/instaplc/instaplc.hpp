@@ -89,6 +89,10 @@ class InstaPlcApp {
     return stats_.switchover_at.has_value();
   }
 
+  /// Binds switchover stats under `<node_label>/instaplc/...`. The
+  /// switchover instant is exported as a gauge (ns; -1 until it happens).
+  void register_metrics(obs::ObsHub& hub, const std::string& node_label) const;
+
  private:
   void on_ingress(const net::Frame& frame, net::PortId in_port);
   void designate_primary(const net::Frame& frame, net::PortId in_port,

@@ -1,19 +1,47 @@
 #include "net/egress_queue.hpp"
 
+#include "obs/hub.hpp"
+
 namespace steelnet::net {
 
 EgressQueue::EgressQueue(Node& owner, PortId port,
                          std::size_t capacity_per_queue)
     : owner_(owner), port_(port), capacity_(capacity_per_queue) {}
 
+std::uint32_t EgressQueue::obs_track(obs::ObsHub& hub) {
+  if (obs_track_ == static_cast<std::uint32_t>(-1)) {
+    obs_track_ =
+        hub.track(owner_.name() + "/p" + std::to_string(port_));
+  }
+  return obs_track_;
+}
+
+void EgressQueue::register_metrics(obs::ObsHub& hub) const {
+  obs::MetricsRegistry& reg = hub.metrics();
+  const std::string module = "p" + std::to_string(port_) + "/egress";
+  reg.bind_counter({owner_.name(), module, "enqueued"}, &counters_.enqueued);
+  reg.bind_counter({owner_.name(), module, "transmitted"},
+                   &counters_.transmitted);
+  reg.bind_counter({owner_.name(), module, "dropped_overflow"},
+                   &counters_.dropped_overflow);
+}
+
 void EgressQueue::enqueue(Frame frame) {
   const std::uint8_t pcp = frame.pcp & 0x7;
+  obs::ObsHub* hub = owner_.network().obs();
   if (capacity_ != 0 && queues_[pcp].size() >= capacity_) {
     ++counters_.dropped_overflow;
+    if (hub != nullptr && frame.trace_id != 0) {
+      hub->queue_drop(frame.trace_id, obs_track(*hub));
+    }
     owner_.on_egress_drop(port_, frame);
     return;
   }
   ++counters_.enqueued;
+  if (hub != nullptr && frame.trace_id != 0) {
+    hub->queue_enter(frame.trace_id, obs_track(*hub),
+                     owner_.network().sim().now());
+  }
   queues_[pcp].push_back(std::move(frame));
   drain();
 }
@@ -26,11 +54,16 @@ std::size_t EgressQueue::depth() const {
 
 void EgressQueue::drain() {
   Network& net = owner_.network();
+  obs::ObsHub* hub = net.obs();
   if (!net.has_channel(owner_.id(), port_)) {
     // Unconnected port: drain everything into the network's drop counter
     // (transmit() on a missing channel counts frames_dropped_no_link).
     for (auto& q : queues_) {
       while (!q.empty()) {
+        if (hub != nullptr && q.front().trace_id != 0) {
+          hub->queue_exit(q.front().trace_id, obs_track(*hub),
+                          net.sim().now());
+        }
         net.transmit(owner_.id(), port_, std::move(q.front()));
         q.pop_front();
       }
@@ -62,6 +95,9 @@ void EgressQueue::drain() {
     Frame f = std::move(head);
     q.pop_front();
     ++counters_.transmitted;
+    if (hub != nullptr && f.trace_id != 0) {
+      hub->queue_exit(f.trace_id, obs_track(*hub), now);
+    }
     net.transmit(owner_.id(), port_, std::move(f));
     return;
   }

@@ -9,14 +9,18 @@
 #include "net/frame.hpp"
 #include "net/node.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 
 namespace steelnet::net {
 
-/// Per-priority drop/transmit counters of one egress port.
+/// Per-priority drop/transmit counters of one egress port. The overflow
+/// drop counter lives on the obs metrics plane (an obs::Counter is a
+/// plain uint64 with a name-bindable address); the accessor API is
+/// unchanged -- it converts implicitly wherever a uint64_t was read.
 struct EgressCounters {
   std::uint64_t enqueued = 0;
   std::uint64_t transmitted = 0;
-  std::uint64_t dropped_overflow = 0;
+  obs::Counter dropped_overflow;
 };
 
 /// Eight strict-priority FIFO queues in front of one channel.
@@ -47,13 +51,22 @@ class EgressQueue {
   }
   [[nodiscard]] const EgressCounters& counters() const { return counters_; }
 
+  /// Binds this port's counters onto the hub's registry under
+  /// `<owner>/pN/egress/...`.
+  void register_metrics(obs::ObsHub& hub) const;
+
  private:
+  /// Interned "owner/pN" obs track, lazily resolved (the owner's name is
+  /// only known after Network::add_node attaches it).
+  std::uint32_t obs_track(obs::ObsHub& hub);
+
   Node& owner_;
   PortId port_;
   std::size_t capacity_;
   std::array<std::deque<Frame>, kPriorities> queues_;
   const GateController* gates_ = nullptr;
   sim::EventHandle gate_retry_;
+  std::uint32_t obs_track_ = static_cast<std::uint32_t>(-1);
   EgressCounters counters_;
 };
 

@@ -29,6 +29,11 @@ struct Frame {
   std::uint64_t flow_id = 0;   ///< logical flow for bookkeeping
   std::uint64_t seq = 0;       ///< per-flow sequence number
   sim::SimTime created_at;     ///< when the sending application emitted it
+  /// Observability causality key: stamped by the first sending host when
+  /// an obs::ObsHub is attached to the Network, 0 otherwise. Carried
+  /// through queues, links and rewrites so per-hop spans of one frame can
+  /// be correlated into an end-to-end latency breakdown.
+  std::uint64_t trace_id = 0;
 
   /// L2 bytes: header + optional 802.1Q tag + padded payload + FCS.
   [[nodiscard]] std::size_t wire_bytes() const;

@@ -1,9 +1,30 @@
 #include "net/host_node.hpp"
 
+#include "obs/hub.hpp"
+
 namespace steelnet::net {
 
 HostNode::HostNode(MacAddress mac)
     : mac_(mac), egress_(*this, kNicPort, /*capacity_per_queue=*/4096) {}
+
+std::uint32_t HostNode::obs_track(obs::ObsHub& hub) {
+  if (obs_track_ == static_cast<std::uint32_t>(-1)) {
+    obs_track_ = hub.track(name());
+  }
+  return obs_track_;
+}
+
+void HostNode::register_metrics(obs::ObsHub& hub) {
+  obs::MetricsRegistry& reg = hub.metrics();
+  reg.bind_counter({name(), "host", "sent"}, &counters_.sent);
+  reg.bind_counter({name(), "host", "received"}, &counters_.received);
+  reg.bind_counter({name(), "host", "filtered"}, &counters_.filtered);
+  reg.bind_counter({name(), "host", "nic_pass"}, &counters_.nic_pass);
+  reg.bind_counter({name(), "host", "nic_drop"}, &counters_.nic_drop);
+  reg.bind_counter({name(), "host", "nic_tx"}, &counters_.nic_tx);
+  reg.bind_counter({name(), "host", "nic_aborted"}, &counters_.nic_aborted);
+  egress_.register_metrics(hub);
+}
 
 void HostNode::send(Frame frame) {
   ++counters_.sent;
@@ -13,6 +34,12 @@ void HostNode::send(Frame frame) {
       host_path_ != nullptr
           ? host_path_->sample_tx(frame.payload.size())
           : sim::SimTime::zero();
+  if (obs::ObsHub* hub = network().obs();
+      hub != nullptr && hub->frames_enabled()) {
+    if (frame.trace_id == 0) frame.trace_id = hub->assign_trace_id();
+    hub->host_tx(frame.trace_id, obs_track(*hub), frame.created_at,
+                 frame.created_at + tx_lat);
+  }
   if (tx_lat == sim::SimTime::zero()) {
     egress_.enqueue(std::move(frame));
     return;
@@ -34,8 +61,12 @@ void HostNode::handle_frame(Frame frame, PortId in_port) {
   }
   if (nic_prog_ != nullptr) {
     sim::SimTime cost = sim::SimTime::zero();
-    const NicAction action =
-        nic_prog_->process(frame, network().sim().now(), cost);
+    const sim::SimTime now = network().sim().now();
+    const NicAction action = nic_prog_->process(frame, now, cost);
+    if (obs::ObsHub* hub = network().obs();
+        hub != nullptr && frame.trace_id != 0) {
+      hub->xdp(frame.trace_id, obs_track(*hub), now, now + cost);
+    }
     switch (action) {
       case NicAction::kDrop:
         ++counters_.nic_drop;
@@ -73,6 +104,13 @@ void HostNode::deliver_up(Frame frame) {
       host_path_ != nullptr
           ? host_path_->sample_rx(frame.payload.size())
           : sim::SimTime::zero();
+  if (obs::ObsHub* hub = network().obs();
+      hub != nullptr && frame.trace_id != 0) {
+    const sim::SimTime now = network().sim().now();
+    hub->host_rx(frame.trace_id, obs_track(*hub), now, now + rx_lat);
+    hub->delivered(frame.trace_id, obs_track(*hub), frame.created_at,
+                   now + rx_lat);
+  }
   if (rx_lat == sim::SimTime::zero()) {
     if (receiver_) receiver_(std::move(frame), network().sim().now());
     return;

@@ -77,12 +77,17 @@ class HostNode : public Node {
     return egress_.counters();
   }
 
+  /// Binds host + NIC-queue counters under `<name>/host/...`.
+  void register_metrics(obs::ObsHub& hub);
+
   static constexpr PortId kNicPort = 0;
 
  private:
   void deliver_up(Frame frame);
+  std::uint32_t obs_track(obs::ObsHub& hub);
 
   MacAddress mac_;
+  std::uint32_t obs_track_ = static_cast<std::uint32_t>(-1);
   EgressQueue egress_;
   Receiver receiver_;
   NicProcessor* nic_prog_ = nullptr;

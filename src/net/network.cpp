@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/hub.hpp"
+
 namespace steelnet::net {
 
 void Network::connect(NodeId a, PortId port_a, NodeId b, PortId port_b,
@@ -53,6 +55,13 @@ sim::SimTime Network::transmit(NodeId node, PortId port, Frame frame) {
   const sim::SimTime arrival = tx_done + ch.params.propagation;
   ch.busy_until = tx_done;
   ++ch.frames_sent;
+  if (obs_ != nullptr && frame.trace_id != 0) {
+    if (ch.obs_track == static_cast<std::uint32_t>(-1)) {
+      ch.obs_track = obs_->track("link:" + nodes_.at(node)->name() + ":p" +
+                                 std::to_string(port));
+    }
+    obs_->link_transit(frame.trace_id, ch.obs_track, sim_.now(), arrival);
+  }
 
   const NodeId peer_node = ch.peer_node;
   const PortId peer_port = ch.peer_port;
@@ -69,6 +78,17 @@ sim::SimTime Network::transmit(NodeId node, PortId port, Frame frame) {
     nodes_.at(node)->on_channel_idle(port);
   });
   return tx_done;
+}
+
+void Network::register_metrics(obs::ObsHub& hub,
+                               const std::string& node_label) const {
+  obs::MetricsRegistry& reg = hub.metrics();
+  reg.bind_counter({node_label, "net", "frames_delivered"},
+                   &counters_.frames_delivered);
+  reg.bind_counter({node_label, "net", "frames_dropped_no_link"},
+                   &counters_.frames_dropped_no_link);
+  reg.bind_counter({node_label, "net", "bytes_delivered"},
+                   &counters_.bytes_delivered);
 }
 
 std::optional<std::pair<NodeId, PortId>> Network::peer(NodeId node,

@@ -13,6 +13,10 @@
 #include "net/node.hpp"
 #include "sim/simulator.hpp"
 
+namespace steelnet::obs {
+class ObsHub;
+}
+
 namespace steelnet::net {
 
 /// Physical characteristics of one link (applied to both directions).
@@ -84,6 +88,17 @@ class Network {
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   [[nodiscard]] const NetworkCounters& counters() const { return counters_; }
 
+  /// Attaches/detaches the observability plane. Not owned; must outlive
+  /// the network (or be detached first). nullptr = observability off --
+  /// every hook site in the data path then costs one pointer-null branch.
+  void set_obs(obs::ObsHub* hub) { obs_ = hub; }
+  [[nodiscard]] obs::ObsHub* obs() const { return obs_; }
+
+  /// Binds the network-level delivery counters onto `registry` under
+  /// `node_label/net/...`.
+  void register_metrics(obs::ObsHub& hub,
+                        const std::string& node_label = "network") const;
+
  private:
   struct Channel {
     NodeId peer_node;
@@ -91,6 +106,9 @@ class Network {
     LinkParams params;
     sim::SimTime busy_until;
     std::uint64_t frames_sent = 0;
+    /// Cached obs::TrackId of this directed channel (interned lazily on
+    /// the first traced frame; invalid until then).
+    std::uint32_t obs_track = static_cast<std::uint32_t>(-1);
   };
 
   static std::uint64_t key(NodeId node, PortId port) {
@@ -101,6 +119,7 @@ class Network {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_map<std::uint64_t, Channel> channels_;
   NetworkCounters counters_;
+  obs::ObsHub* obs_ = nullptr;
 };
 
 }  // namespace steelnet::net

@@ -1,5 +1,7 @@
 #include "net/switch_node.hpp"
 
+#include "obs/hub.hpp"
+
 namespace steelnet::net {
 
 SwitchNode::SwitchNode(SwitchConfig cfg) : cfg_(cfg) {}
@@ -40,6 +42,15 @@ void SwitchNode::handle_frame(Frame frame, PortId in_port) {
     fdb_[frame.src.bits()] = in_port;
   }
 
+  if (obs::ObsHub* hub = network().obs();
+      hub != nullptr && frame.trace_id != 0) {
+    if (obs_track_ == static_cast<std::uint32_t>(-1)) {
+      obs_track_ = hub->track(name());
+    }
+    const sim::SimTime now = network().sim().now();
+    hub->proc(frame.trace_id, obs_track_, now, now + cfg_.processing_delay);
+  }
+
   // Store-and-forward processing delay, then queue at egress.
   Frame f = std::move(frame);
   network().sim().schedule_in(
@@ -78,6 +89,23 @@ void SwitchNode::on_egress_drop(PortId port, const Frame& frame) {
   (void)port;
   (void)frame;
   ++counters_.frames_dropped_overflow;
+}
+
+void SwitchNode::register_metrics(obs::ObsHub& hub) {
+  obs::MetricsRegistry& reg = hub.metrics();
+  reg.bind_counter({name(), "switch", "frames_in"}, &counters_.frames_in);
+  reg.bind_counter({name(), "switch", "frames_forwarded"},
+                   &counters_.frames_forwarded);
+  reg.bind_counter({name(), "switch", "frames_flooded"},
+                   &counters_.frames_flooded);
+  reg.bind_counter({name(), "switch", "frames_dropped_unknown"},
+                   &counters_.frames_dropped_unknown);
+  reg.bind_counter({name(), "switch", "frames_dropped_overflow"},
+                   &counters_.frames_dropped_overflow);
+  for (const auto& [port, peer] : network().ports_of(id())) {
+    (void)peer;
+    queue_for(port).register_metrics(hub);
+  }
 }
 
 }  // namespace steelnet::net

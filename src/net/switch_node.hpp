@@ -30,8 +30,9 @@ struct SwitchCounters {
   std::uint64_t frames_flooded = 0;
   std::uint64_t frames_dropped_unknown = 0;
   /// Frames lost to full egress priority queues, summed over all ports
-  /// (per-port breakdown: port_counters(p).dropped_overflow).
-  std::uint64_t frames_dropped_overflow = 0;
+  /// (per-port breakdown: port_counters(p).dropped_overflow). Lives on
+  /// the obs metrics plane; reads still convert to uint64_t implicitly.
+  obs::Counter frames_dropped_overflow;
 };
 
 class SwitchNode : public Node {
@@ -53,6 +54,12 @@ class SwitchNode : public Node {
   [[nodiscard]] const EgressCounters& port_counters(PortId port) const;
   [[nodiscard]] const SwitchConfig& config() const { return cfg_; }
 
+  /// Binds switch + per-port egress counters under `<name>/switch/...`.
+  /// Materializes the egress queue of every connected port so their
+  /// counters exist before traffic flows (lazy creation is unchanged
+  /// otherwise). Call after the node is attached and links connected.
+  void register_metrics(obs::ObsHub& hub);
+
  private:
   EgressQueue& queue_for(PortId port);
   void forward(Frame frame, PortId out_port);
@@ -60,6 +67,7 @@ class SwitchNode : public Node {
   SwitchConfig cfg_;
   std::map<std::uint64_t, PortId> fdb_;
   std::vector<std::unique_ptr<EgressQueue>> egress_;  // lazily sized
+  std::uint32_t obs_track_ = static_cast<std::uint32_t>(-1);
   SwitchCounters counters_;
 };
 

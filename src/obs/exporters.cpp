@@ -1,0 +1,128 @@
+#include "obs/exporters.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace steelnet::obs {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Nanoseconds rendered as microseconds with fixed three decimals --
+/// Chrome trace `ts`/`dur` are in µs; three decimals keep ns resolution.
+std::string us(sim::SimTime t) {
+  char buf[40];
+  const std::int64_t ns = t.nanos();
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000 < 0 ? -(ns % 1000)
+                                                     : ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const SpanTracer& tracer) {
+  std::ostringstream os;
+  write_chrome_trace(os, tracer);
+  return os.str();
+}
+
+void write_chrome_trace(std::ostream& os, const SpanTracer& tracer) {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (TrackId t = 0; t < tracer.track_count(); ++t) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" << t
+       << ",\"args\":{\"name\":\"" << json_escape(tracer.track_name(t))
+       << "\"}}";
+  }
+  for (const Span& s : tracer.spans()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"X\",\"cat\":\"frame\",\"name\":\"" << json_escape(s.name)
+       << "\",\"pid\":1,\"tid\":" << s.track << ",\"ts\":" << us(s.start)
+       << ",\"dur\":" << us(s.duration());
+    if (s.trace_id != 0) {
+      os << ",\"args\":{\"trace_id\":" << s.trace_id << "}";
+    }
+    os << "}";
+  }
+  os << "]}\n";
+}
+
+std::string spans_csv(const SpanTracer& tracer) {
+  std::ostringstream os;
+  os << "trace_id,track,name,start_ns,end_ns,duration_ns\n";
+  for (const Span& s : tracer.spans()) {
+    os << s.trace_id << ',' << tracer.track_name(s.track) << ',' << s.name
+       << ',' << s.start.nanos() << ',' << s.end.nanos() << ','
+       << s.duration().nanos() << '\n';
+  }
+  return os.str();
+}
+
+Snapshotter::Snapshotter(sim::Simulator& sim, const MetricsRegistry& registry,
+                         sim::SimTime period)
+    : sim_(sim),
+      registry_(registry),
+      task_(std::make_unique<sim::PeriodicTask>(sim, period, period,
+                                                [this] { take(); })) {}
+
+void Snapshotter::stop() {
+  if (task_) task_->stop();
+}
+
+void Snapshotter::take() {
+  ++taken_;
+  const sim::SimTime now = sim_.now();
+  for (const MetricSample& s : registry_.snapshot()) {
+    series_.push_back({now, s.path, s.value});
+  }
+}
+
+std::string Snapshotter::to_csv() const {
+  std::ostringstream os;
+  os << "time_ns,node,module,metric,value\n";
+  for (const Row& r : series_) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.6g", r.value);
+    os << r.at.nanos() << ',' << r.path.node << ',' << r.path.module << ','
+       << r.path.name << ',' << buf << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace steelnet::obs

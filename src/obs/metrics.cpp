@@ -1,0 +1,174 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace steelnet::obs {
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+double MetricsRegistry::Entry::value() const {
+  if (bound_u64 != nullptr) return static_cast<double>(*bound_u64);
+  if (bound_counter != nullptr) {
+    return static_cast<double>(bound_counter->value());
+  }
+  if (read) return read();
+  if (owned_counter) return static_cast<double>(owned_counter->value());
+  if (owned_gauge) return owned_gauge->value();
+  if (owned_hist) return static_cast<double>(owned_hist->count());
+  return 0.0;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::emplace(MetricPath path,
+                                                 MetricKind kind) {
+  if (path.node.empty() || path.module.empty() || path.name.empty()) {
+    throw std::invalid_argument("MetricsRegistry: empty label segment in \"" +
+                                path.full() + "\"");
+  }
+  auto [it, inserted] = entries_.try_emplace(path.full());
+  if (!inserted) {
+    throw std::invalid_argument("MetricsRegistry: duplicate metric \"" +
+                                path.full() + "\"");
+  }
+  it->second.path = std::move(path);
+  it->second.kind = kind;
+  return it->second;
+}
+
+Counter& MetricsRegistry::make_counter(MetricPath path) {
+  Entry& e = emplace(std::move(path), MetricKind::kCounter);
+  e.owned_counter = std::make_unique<Counter>();
+  return *e.owned_counter;
+}
+
+Gauge& MetricsRegistry::make_gauge(MetricPath path) {
+  Entry& e = emplace(std::move(path), MetricKind::kGauge);
+  e.owned_gauge = std::make_unique<Gauge>();
+  return *e.owned_gauge;
+}
+
+sim::Histogram& MetricsRegistry::make_histogram(MetricPath path, double lo,
+                                                double hi, std::size_t bins) {
+  Entry& e = emplace(std::move(path), MetricKind::kHistogram);
+  e.owned_hist = std::make_unique<sim::Histogram>(lo, hi, bins);
+  return *e.owned_hist;
+}
+
+void MetricsRegistry::bind_counter(MetricPath path,
+                                   const std::uint64_t* value) {
+  if (value == nullptr) {
+    throw std::invalid_argument("MetricsRegistry::bind_counter: null source");
+  }
+  emplace(std::move(path), MetricKind::kCounter).bound_u64 = value;
+}
+
+void MetricsRegistry::bind_counter(MetricPath path, const Counter* value) {
+  if (value == nullptr) {
+    throw std::invalid_argument("MetricsRegistry::bind_counter: null source");
+  }
+  emplace(std::move(path), MetricKind::kCounter).bound_counter = value;
+}
+
+void MetricsRegistry::bind_gauge(MetricPath path,
+                                 std::function<double()> read) {
+  if (!read) {
+    throw std::invalid_argument("MetricsRegistry::bind_gauge: null reader");
+  }
+  emplace(std::move(path), MetricKind::kGauge).read = std::move(read);
+}
+
+bool MetricsRegistry::contains(const MetricPath& path) const {
+  return entries_.contains(path.full());
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    (void)key;
+    out.push_back({e.path, e.kind, e.value(), e.owned_hist.get()});
+  }
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else becomes '_'.
+std::string prom_sanitize(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// Fixed-format double: integers print bare, the rest with 6 significant
+/// digits -- locale-free and stable across platforms.
+std::string num(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::ostringstream os;
+  for (const auto& [key, e] : entries_) {
+    (void)key;
+    const std::string name =
+        "steelnet_" + prom_sanitize(e.path.module) + "_" +
+        prom_sanitize(e.path.name);
+    const char* type = e.kind == MetricKind::kCounter ? "counter" : "gauge";
+    if (e.kind == MetricKind::kHistogram) type = "histogram";
+    os << "# TYPE " << name << ' ' << type << '\n';
+    if (e.kind == MetricKind::kHistogram && e.owned_hist != nullptr) {
+      const sim::Histogram& h = *e.owned_hist;
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < h.bins(); ++i) {
+        cum += h.bin_count(i);
+        os << name << "_bucket{node=\"" << e.path.node << "\",le=\""
+           << num(h.bin_hi(i)) << "\"} " << cum << '\n';
+      }
+      os << name << "_bucket{node=\"" << e.path.node << "\",le=\"+Inf\"} "
+         << h.count() << '\n';
+      os << name << "_count{node=\"" << e.path.node << "\"} " << h.count()
+         << '\n';
+      continue;
+    }
+    os << name << "{node=\"" << e.path.node << "\"} " << num(e.value())
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::ostringstream os;
+  os << "node,module,metric,kind,value\n";
+  for (const auto& [key, e] : entries_) {
+    (void)key;
+    os << e.path.node << ',' << e.path.module << ',' << e.path.name << ','
+       << to_string(e.kind) << ',' << num(e.value()) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace steelnet::obs

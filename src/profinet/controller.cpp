@@ -1,6 +1,7 @@
 #include "profinet/controller.hpp"
 
 #include "net/network.hpp"
+#include "obs/hub.hpp"
 
 namespace steelnet::profinet {
 
@@ -160,6 +161,18 @@ void CyclicController::on_frame(net::Frame frame, sim::SimTime) {
     ++counters_.alarms_rx;
     return;
   }
+}
+
+void CyclicController::register_metrics(obs::ObsHub& hub) const {
+  obs::MetricsRegistry& reg = hub.metrics();
+  const std::string& node = host_.name();
+  reg.bind_counter({node, "profinet", "cyclic_tx"}, &counters_.cyclic_tx);
+  reg.bind_counter({node, "profinet", "cyclic_rx"}, &counters_.cyclic_rx);
+  reg.bind_counter({node, "profinet", "connects_sent"},
+                   &counters_.connects_sent);
+  reg.bind_counter({node, "profinet", "device_watchdog_trips"},
+                   &counters_.device_watchdog_trips);
+  reg.bind_counter({node, "profinet", "alarms_rx"}, &counters_.alarms_rx);
 }
 
 }  // namespace steelnet::profinet

@@ -94,6 +94,9 @@ class CyclicController {
   }
   [[nodiscard]] net::HostNode& host() { return host_; }
 
+  /// Binds controller counters under `<host name>/profinet/...`.
+  void register_metrics(obs::ObsHub& hub) const;
+
  private:
   void on_frame(net::Frame frame, sim::SimTime at);
   void send_connect();

@@ -1,6 +1,7 @@
 #include "profinet/io_device.hpp"
 
 #include "net/network.hpp"
+#include "obs/hub.hpp"
 
 namespace steelnet::profinet {
 
@@ -156,6 +157,19 @@ void IoDevice::handle(const Release& p) {
   cycle_task_.reset();
   state_ = DeviceState::kIdle;
   if (output_handler_) output_handler_({}, /*run=*/false);
+}
+
+void IoDevice::register_metrics(obs::ObsHub& hub) const {
+  obs::MetricsRegistry& reg = hub.metrics();
+  const std::string& node = host_.name();
+  reg.bind_counter({node, "profinet", "cyclic_rx"}, &counters_.cyclic_rx);
+  reg.bind_counter({node, "profinet", "cyclic_tx"}, &counters_.cyclic_tx);
+  reg.bind_counter({node, "profinet", "watchdog_trips"},
+                   &counters_.watchdog_trips);
+  reg.bind_counter({node, "profinet", "alarms_sent"}, &counters_.alarms_sent);
+  reg.bind_counter({node, "profinet", "rejected_connects"},
+                   &counters_.rejected_connects);
+  reg.bind_counter({node, "profinet", "malformed"}, &counters_.malformed);
 }
 
 }  // namespace steelnet::profinet

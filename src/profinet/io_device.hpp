@@ -80,6 +80,10 @@ class IoDevice {
   [[nodiscard]] sim::SimTime cycle_time() const { return cycle_; }
   [[nodiscard]] net::HostNode& host() { return host_; }
 
+  /// Binds device counters under `<host name>/profinet/...` (including
+  /// the watchdog-expiration count central to the availability story).
+  void register_metrics(obs::ObsHub& hub) const;
+
  private:
   void on_frame(net::Frame frame, sim::SimTime at);
   void handle(const ConnectReq& p, net::MacAddress from);

@@ -1,5 +1,7 @@
 #include "sdn/sdn_switch.hpp"
 
+#include "obs/hub.hpp"
+
 namespace steelnet::sdn {
 
 SdnSwitchNode::SdnSwitchNode(SdnSwitchConfig cfg) : cfg_(cfg) {}
@@ -17,6 +19,14 @@ void SdnSwitchNode::handle_frame(net::Frame frame, net::PortId in_port) {
   observe_frame(frame, in_port);
   ++counters_.frames_in;
   if (inspector_) inspector_(frame, in_port);
+  if (obs::ObsHub* hub = network().obs();
+      hub != nullptr && frame.trace_id != 0) {
+    if (obs_track_ == static_cast<std::uint32_t>(-1)) {
+      obs_track_ = hub->track(name());
+    }
+    const sim::SimTime now = network().sim().now();
+    hub->proc(frame.trace_id, obs_track_, now, now + cfg_.pipeline_latency);
+  }
   network().sim().schedule_in(
       cfg_.pipeline_latency,
       [this, f = std::move(frame), in_port]() mutable {
@@ -57,6 +67,19 @@ void SdnSwitchNode::inject(net::Frame frame, net::PortId port) {
 
 void SdnSwitchNode::on_channel_idle(net::PortId port) {
   if (port < egress_.size() && egress_[port]) egress_[port]->drain();
+}
+
+void SdnSwitchNode::register_metrics(obs::ObsHub& hub) {
+  obs::MetricsRegistry& reg = hub.metrics();
+  reg.bind_counter({name(), "sdn", "frames_in"}, &counters_.frames_in);
+  reg.bind_counter({name(), "sdn", "frames_out"}, &counters_.frames_out);
+  reg.bind_counter({name(), "sdn", "dropped"}, &counters_.dropped);
+  reg.bind_counter({name(), "sdn", "punted"}, &counters_.punted);
+  reg.bind_counter({name(), "sdn", "injected"}, &counters_.injected);
+  for (const auto& [port, peer] : network().ports_of(id())) {
+    (void)peer;
+    queue_for(port).register_metrics(hub);
+  }
 }
 
 }  // namespace steelnet::sdn

@@ -59,12 +59,18 @@ class SdnSwitchNode final : public net::Node {
     return counters_;
   }
 
+  /// Binds switch + per-port egress counters under `<name>/sdn/...`.
+  /// Materializes egress queues of connected ports; call after links are
+  /// connected.
+  void register_metrics(obs::ObsHub& hub);
+
  private:
   net::EgressQueue& queue_for(net::PortId port);
 
   SdnSwitchConfig cfg_;
   Pipeline pipeline_;
   std::vector<std::unique_ptr<net::EgressQueue>> egress_;
+  std::uint32_t obs_track_ = static_cast<std::uint32_t>(-1);
   std::function<void(const net::Frame&, net::PortId)> inspector_;
   std::function<void(const net::Frame&, net::PortId)> punt_;
   SdnSwitchCounters counters_;

@@ -137,8 +137,12 @@ double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
 
 double Histogram::percentile(double p) const {
   if (total_ == 0) throw std::logic_error("percentile of empty Histogram");
-  const auto target = static_cast<std::uint64_t>(
-      std::ceil(p / 100.0 * static_cast<double>(total_)));
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile range");
+  // Nearest-rank over bins; the max(1, ...) keeps p=0 pointing at the
+  // first *occupied* bin (a target of 0 would match an empty leading bin).
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(total_))));
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     cum += counts_[i];

@@ -52,12 +52,31 @@ TEST(SampleSet, PercentilesNearestRank) {
   EXPECT_EQ(s.percentile(99), 99.0);
   EXPECT_EQ(s.percentile(100), 100.0);
   EXPECT_EQ(s.median(), 50.0);
-  EXPECT_THROW(s.percentile(101), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(s.percentile(101)), std::invalid_argument);
 }
 
 TEST(SampleSet, EmptyPercentileThrows) {
   SampleSet s;
-  EXPECT_THROW(s.percentile(50), std::logic_error);
+  EXPECT_THROW(static_cast<void>(s.percentile(50)), std::logic_error);
+  EXPECT_THROW(static_cast<void>(s.percentile(0)), std::logic_error);
+  EXPECT_THROW(static_cast<void>(s.percentile(100)), std::logic_error);
+}
+
+TEST(SampleSet, SingleSampleEveryPercentile) {
+  SampleSet s;
+  s.add(42.0);
+  EXPECT_EQ(s.percentile(0), 42.0);
+  EXPECT_EQ(s.percentile(1), 42.0);
+  EXPECT_EQ(s.percentile(50), 42.0);
+  EXPECT_EQ(s.percentile(100), 42.0);
+  EXPECT_EQ(s.median(), 42.0);
+}
+
+TEST(SampleSet, PercentileRangeThrowsBothSides) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_THROW(static_cast<void>(s.percentile(-0.001)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(s.percentile(100.001)), std::invalid_argument);
 }
 
 TEST(SampleSet, CdfIsMonotoneAndEndsAtOne) {
@@ -117,6 +136,36 @@ TEST(Histogram, PercentileApproximation) {
 TEST(Histogram, InvalidConstruction) {
   EXPECT_THROW(Histogram(0, 0, 10), std::invalid_argument);
   EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+}
+
+TEST(Histogram, EmptyPercentileThrows) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_THROW(static_cast<void>(h.percentile(50)), std::logic_error);
+  EXPECT_THROW(static_cast<void>(h.percentile(0)), std::logic_error);
+}
+
+TEST(Histogram, PercentileRangeChecked) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.0);
+  EXPECT_THROW(static_cast<void>(h.percentile(-1)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(h.percentile(100.5)), std::invalid_argument);
+}
+
+TEST(Histogram, PercentileBoundariesNearestRank) {
+  // All mass in bin 7 ([7,8), midpoint 7.5), with empty bins around it:
+  // p=0 must not report the empty leading bin, p=100 the occupied one.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 5; ++i) h.add(7.2);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 7.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 7.5);
+}
+
+TEST(Histogram, SingleSampleEveryPercentile) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.25);  // bin 0, midpoint 0.5
+  EXPECT_DOUBLE_EQ(h.percentile(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 0.5);
 }
 
 TEST(TimeSeriesBinner, BinsPer50ms) {
