@@ -6,6 +6,8 @@
 //   --csv            machine-readable output instead of the rendered table
 //   --trace <file>   write a Chrome-trace/Perfetto JSON of the run
 //   --metrics <file> write a Prometheus-style metrics dump of the run
+//   --sweep <n>      where supported: sweep n seeds instead of the single
+//                    default run (ignored by binaries without a sweep mode)
 // plus --help. Binaries without an obs wiring still accept --trace and
 // --metrics but warn on stderr that nothing will be produced.
 #pragma once
@@ -24,6 +26,8 @@ struct BenchArgs {
   bool csv = false;
   std::optional<std::string> trace_path;
   std::optional<std::string> metrics_path;
+  /// --sweep <n>: number of seeds to sweep; 0 means "no sweep requested".
+  std::uint64_t sweep = 0;
 
   /// Parses argv; exits on --help (0) and on malformed/unknown flags (2).
   static BenchArgs parse(int argc, char** argv,
@@ -51,10 +55,13 @@ struct BenchArgs {
       } else if (a == "--metrics") {
         args.metrics_path = need_value(i, a);
         ++i;
+      } else if (a == "--sweep") {
+        args.sweep = std::strtoull(need_value(i, a), nullptr, 0);
+        ++i;
       } else if (a == "--help" || a == "-h") {
         std::cout << "usage: " << prog
                   << " [--seed <n>] [--csv] [--trace <file>]"
-                     " [--metrics <file>]\n";
+                     " [--metrics <file>] [--sweep <n>]\n";
         std::exit(0);
       } else {
         std::cerr << prog << ": unknown argument '" << a

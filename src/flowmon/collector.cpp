@@ -28,10 +28,13 @@ void CollectorNode::handle_frame(net::Frame frame, net::PortId in_port) {
 
   // IPFIX sequence accounting: the header carries the count of data
   // records sent before this message, so a jump means lost records.
+  // Exporters start at sequence 0, so even the first message from a new
+  // observation domain reveals records lost before first contact.
   const auto domain = msg->header.observation_domain;
   const auto it = next_sequence_.find(domain);
-  if (it != next_sequence_.end() && msg->header.sequence > it->second) {
-    counters_.lost_records += msg->header.sequence - it->second;
+  const std::uint32_t expected = it != next_sequence_.end() ? it->second : 0;
+  if (msg->header.sequence > expected) {
+    counters_.lost_records += msg->header.sequence - expected;
   }
   next_sequence_[domain] =
       msg->header.sequence + static_cast<std::uint32_t>(msg->records.size());

@@ -27,6 +27,19 @@ void EgressQueue::register_metrics(obs::ObsHub& hub) const {
 }
 
 void EgressQueue::enqueue(Frame frame) {
+  // A crashed node's egress path is dead: the frame is suppressed at the
+  // fault plane instead of queueing (and stale frames are purged by
+  // drain() below when the crash hits a non-empty queue).
+  if (FaultInjector* fp = owner_.network().faults();
+      fp != nullptr && !fp->node_alive(owner_.id())) {
+    if (obs::ObsHub* hub = owner_.network().obs();
+        hub != nullptr && frame.trace_id != 0) {
+      hub->fault_event(frame.trace_id, obs_track(*hub),
+                       owner_.network().sim().now(), "tx_suppressed");
+    }
+    fp->on_tx_suppressed(owner_.id(), frame);
+    return;
+  }
   const std::uint8_t pcp = frame.pcp & 0x7;
   obs::ObsHub* hub = owner_.network().obs();
   if (capacity_ != 0 && queues_[pcp].size() >= capacity_) {
@@ -55,6 +68,23 @@ std::size_t EgressQueue::depth() const {
 void EgressQueue::drain() {
   Network& net = owner_.network();
   obs::ObsHub* hub = net.obs();
+  if (FaultInjector* fp = net.faults();
+      fp != nullptr && !fp->node_alive(owner_.id())) {
+    // The owning node crashed with frames still queued: purge them (a
+    // dead NIC's buffers do not survive), keeping the fault ledger exact.
+    for (auto& q : queues_) {
+      while (!q.empty()) {
+        if (hub != nullptr && q.front().trace_id != 0) {
+          hub->queue_drop(q.front().trace_id, obs_track(*hub));
+          hub->fault_event(q.front().trace_id, obs_track(*hub),
+                           net.sim().now(), "tx_suppressed");
+        }
+        fp->on_tx_suppressed(owner_.id(), q.front());
+        q.pop_front();
+      }
+    }
+    return;
+  }
   if (!net.has_channel(owner_.id(), port_)) {
     // Unconnected port: drain everything into the network's drop counter
     // (transmit() on a missing channel counts frames_dropped_no_link).

@@ -27,6 +27,13 @@ void HostNode::register_metrics(obs::ObsHub& hub) {
 }
 
 void HostNode::send(Frame frame) {
+  // A crashed host's application cannot reach its NIC (fault-plane hook:
+  // the send is suppressed, counted, and never touches the wire).
+  if (FaultInjector* fp = network().faults();
+      fp != nullptr && !fp->node_alive(id())) {
+    fp->on_tx_suppressed(id(), frame);
+    return;
+  }
   ++counters_.sent;
   frame.created_at = network().sim().now();
   if (frame.src.bits() == 0) frame.src = mac_;
@@ -50,6 +57,13 @@ void HostNode::send(Frame frame) {
 }
 
 void HostNode::handle_frame(Frame frame, PortId in_port) {
+  // Safety net for frames handed to a crashed host outside the network
+  // delivery path (which already absorbs them at the fault plane).
+  if (FaultInjector* fp = network().faults();
+      fp != nullptr && !fp->node_alive(id())) {
+    fp->on_rx_suppressed(id(), frame);
+    return;
+  }
   observe_frame(frame, in_port);
   (void)in_port;
   // NIC destination filter: unicast frames for somebody else (flooded by

@@ -39,6 +39,7 @@ std::uint64_t Network::channel_rate(NodeId node, PortId port) const {
 }
 
 sim::SimTime Network::transmit(NodeId node, PortId port, Frame frame) {
+  ++counters_.frames_offered;
   const auto it = channels_.find(key(node, port));
   if (it == channels_.end()) {
     ++counters_.frames_dropped_no_link;
@@ -52,41 +53,105 @@ sim::SimTime Network::transmit(NodeId node, PortId port, Frame frame) {
   const sim::SimTime ser =
       serialization_time(frame.occupancy_bytes(), ch.params.bits_per_second);
   const sim::SimTime tx_done = sim_.now() + ser;
-  const sim::SimTime arrival = tx_done + ch.params.propagation;
+  sim::SimTime arrival = tx_done + ch.params.propagation;
   ch.busy_until = tx_done;
   ++ch.frames_sent;
-  if (obs_ != nullptr && frame.trace_id != 0) {
+
+  const auto link_track = [&] {
     if (ch.obs_track == static_cast<std::uint32_t>(-1)) {
       ch.obs_track = obs_->track("link:" + nodes_.at(node)->name() + ":p" +
                                  std::to_string(port));
     }
-    obs_->link_transit(frame.trace_id, ch.obs_track, sim_.now(), arrival);
+    return ch.obs_track;
+  };
+
+  // Fault verdict before the obs link span so the span reflects the true
+  // (possibly jittered/reordered) arrival, or is replaced by the fault
+  // event if the frame dies on this link.
+  bool survives = true;
+  bool duplicate = false;
+  if (faults_ != nullptr) {
+    const FaultInjector::TransitVerdict v =
+        faults_->on_transit(node, port, frame, sim_.now());
+    survives = !v.drop;
+    duplicate = v.duplicate;
+    arrival += v.extra_delay;
+    if (obs_ != nullptr && frame.trace_id != 0) {
+      if (v.corrupted) {
+        obs_->fault_event(frame.trace_id, link_track(), sim_.now(), "corrupt");
+      }
+      if (v.duplicate) {
+        obs_->fault_event(frame.trace_id, link_track(), sim_.now(),
+                          "duplicate");
+      }
+      if (v.reordered) {
+        obs_->fault_event(frame.trace_id, link_track(), sim_.now(), "reorder");
+      }
+      if (v.drop) {
+        obs_->fault_event(frame.trace_id, link_track(), sim_.now(), v.cause);
+      }
+    }
   }
 
-  const NodeId peer_node = ch.peer_node;
-  const PortId peer_port = ch.peer_port;
-  const std::size_t wire = frame.wire_bytes();
-  sim_.schedule_at(arrival, [this, peer_node, peer_port, wire,
-                             f = std::move(frame)]() mutable {
-    ++counters_.frames_delivered;
-    counters_.bytes_delivered += wire;
-    nodes_.at(peer_node)->handle_frame(std::move(f), peer_port);
-  });
+  if (survives) {
+    if (obs_ != nullptr && frame.trace_id != 0) {
+      obs_->link_transit(frame.trace_id, link_track(), sim_.now(), arrival);
+    }
+    const NodeId peer_node = ch.peer_node;
+    const PortId peer_port = ch.peer_port;
+    const std::size_t wire = frame.wire_bytes();
+    std::optional<Frame> copy;
+    if (duplicate) copy = frame;
+    ++counters_.frames_in_flight;
+    sim_.schedule_at(arrival, [this, peer_node, peer_port, wire,
+                               f = std::move(frame)]() mutable {
+      deliver_frame(peer_node, peer_port, wire, std::move(f));
+    });
+    if (copy.has_value()) {
+      ++counters_.frames_in_flight;
+      sim_.schedule_at(arrival, [this, peer_node, peer_port, wire,
+                                 f = std::move(*copy)]() mutable {
+        deliver_frame(peer_node, peer_port, wire, std::move(f));
+      });
+    }
+  }
   // Tell the sender its channel is free again (fires after the frame's
-  // last bit leaves, before/independent of delivery at the peer).
+  // last bit leaves, before/independent of delivery at the peer -- even a
+  // dead medium occupies the NIC for the serialization time).
   sim_.schedule_at(tx_done, [this, node, port] {
     nodes_.at(node)->on_channel_idle(port);
   });
   return tx_done;
 }
 
+void Network::deliver_frame(NodeId peer_node, PortId peer_port,
+                            std::size_t wire, Frame frame) {
+  --counters_.frames_in_flight;
+  if (faults_ != nullptr && !faults_->node_alive(peer_node)) {
+    if (obs_ != nullptr && frame.trace_id != 0) {
+      obs_->fault_event(frame.trace_id,
+                        obs_->track(nodes_.at(peer_node)->name()), sim_.now(),
+                        "receiver_down");
+    }
+    faults_->on_receiver_down(peer_node, frame, sim_.now());
+    return;
+  }
+  ++counters_.frames_delivered;
+  counters_.bytes_delivered += wire;
+  nodes_.at(peer_node)->handle_frame(std::move(frame), peer_port);
+}
+
 void Network::register_metrics(obs::ObsHub& hub,
                                const std::string& node_label) const {
   obs::MetricsRegistry& reg = hub.metrics();
+  reg.bind_counter({node_label, "net", "frames_offered"},
+                   &counters_.frames_offered);
   reg.bind_counter({node_label, "net", "frames_delivered"},
                    &counters_.frames_delivered);
   reg.bind_counter({node_label, "net", "frames_dropped_no_link"},
                    &counters_.frames_dropped_no_link);
+  reg.bind_counter({node_label, "net", "frames_in_flight"},
+                   &counters_.frames_in_flight);
   reg.bind_counter({node_label, "net", "bytes_delivered"},
                    &counters_.bytes_delivered);
 }

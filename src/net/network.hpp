@@ -26,9 +26,19 @@ struct LinkParams {
 };
 
 /// Aggregate per-network counters.
+///
+/// Conservation ledger: every transmit() offer resolves to exactly one of
+/// {delivered, dropped_no_link, a FaultInjector drop cause}, plus the
+/// frames currently between wire and peer (frames_in_flight). With a
+/// fault plane attached,
+///   frames_offered + duplicates == frames_delivered + frames_dropped_no_link
+///                                  + injector wire drops + frames_in_flight
+/// holds at every instant -- the invariant the faults test harness sweeps.
 struct NetworkCounters {
+  std::uint64_t frames_offered = 0;    ///< transmit() calls
   std::uint64_t frames_delivered = 0;
   std::uint64_t frames_dropped_no_link = 0;
+  std::uint64_t frames_in_flight = 0;  ///< scheduled, not yet delivered
   std::uint64_t bytes_delivered = 0;
 };
 
@@ -94,12 +104,23 @@ class Network {
   void set_obs(obs::ObsHub* hub) { obs_ = hub; }
   [[nodiscard]] obs::ObsHub* obs() const { return obs_; }
 
+  /// Attaches/detaches the fault-injection plane. Not owned; must outlive
+  /// the network (or be detached first). nullptr = faults off -- every
+  /// hook site in the data path then costs one pointer-null branch.
+  void set_faults(FaultInjector* injector) { faults_ = injector; }
+  [[nodiscard]] FaultInjector* faults() const { return faults_; }
+
   /// Binds the network-level delivery counters onto `registry` under
   /// `node_label/net/...`.
   void register_metrics(obs::ObsHub& hub,
                         const std::string& node_label = "network") const;
 
  private:
+  /// Delivery at the peer: consults the fault plane (a crashed receiver
+  /// absorbs the frame) and keeps the conservation ledger balanced.
+  void deliver_frame(NodeId peer_node, PortId peer_port, std::size_t wire,
+                     Frame frame);
+
   struct Channel {
     NodeId peer_node;
     PortId peer_port;
@@ -120,6 +141,7 @@ class Network {
   std::unordered_map<std::uint64_t, Channel> channels_;
   NetworkCounters counters_;
   obs::ObsHub* obs_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace steelnet::net

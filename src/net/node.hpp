@@ -83,6 +83,49 @@ class Node {
   std::vector<FrameObserver*> observers_;
 };
 
+/// Fault-injection hook surface (implemented by steelnet::faults'
+/// FaultPlane). The data path consults it at each hook site behind a
+/// single pointer-null branch -- detached, faults cost nothing, exactly
+/// like the observability plane. The injector owns all fault state,
+/// randomness and counters; the data path only asks and obeys.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// What should happen to a frame entering the wire at (node, port).
+  /// `corrupted` frames were already mutated in place; `duplicate` asks
+  /// the network to deliver a second copy; `extra_delay` postpones the
+  /// arrival (jitter, or reordering via delayed re-enqueue).
+  struct TransitVerdict {
+    bool drop = false;
+    const char* cause = nullptr;  ///< drop cause ("loss", "link_down", ...)
+    bool corrupted = false;
+    bool duplicate = false;
+    bool reordered = false;
+    sim::SimTime extra_delay;
+  };
+
+  /// False while the node is crashed: the network drops deliveries to it
+  /// and the node's own tx path suppresses sends.
+  [[nodiscard]] virtual bool node_alive(NodeId node) const = 0;
+
+  /// Consulted by Network::transmit once per offered frame. May mutate
+  /// the frame (bit corruption) and draws from the injector's seeded
+  /// fault streams.
+  virtual TransitVerdict on_transit(NodeId node, PortId port, Frame& frame,
+                                    sim::SimTime now) = 0;
+
+  /// An in-flight frame arrived at a crashed node and was discarded.
+  virtual void on_receiver_down(NodeId node, const Frame& frame,
+                                sim::SimTime now) = 0;
+  /// A frame was suppressed before reaching the wire (send/enqueue on a
+  /// crashed node, or a queue purge while the node was down).
+  virtual void on_tx_suppressed(NodeId node, const Frame& frame) = 0;
+  /// A frame was handed to a crashed node outside the network delivery
+  /// path and discarded.
+  virtual void on_rx_suppressed(NodeId node, const Frame& frame) = 0;
+};
+
 /// Transmission gating hook (implemented by the TSN time-aware shaper).
 /// The egress queue consults it before starting a frame.
 class GateController {

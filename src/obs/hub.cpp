@@ -54,6 +54,12 @@ void ObsHub::host_rx(std::uint64_t trace, TrackId t, sim::SimTime start,
   tracer_.hop(trace, Hop::kHostRx, t, start, end);
 }
 
+void ObsHub::fault_event(std::uint64_t trace, TrackId t, sim::SimTime at,
+                         const char* cause) {
+  if (!cfg_.trace_frames || trace == 0) return;
+  tracer_.add(t, std::string("fault:") + cause, at, at, trace);
+}
+
 void ObsHub::delivered(std::uint64_t trace, TrackId t, sim::SimTime created_at,
                        sim::SimTime at) {
   if (!cfg_.track_deliveries || trace == 0) return;

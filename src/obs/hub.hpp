@@ -89,6 +89,11 @@ class ObsHub {
                sim::SimTime end);
   void delivered(std::uint64_t trace, TrackId t, sim::SimTime created_at,
                  sim::SimTime at);
+  /// Instant (zero-width) span marking an injected fault hitting the
+  /// frame at `t` -- named "fault:<cause>", so breakdown() and the
+  /// Perfetto export show exactly where a frame died or was mutated.
+  void fault_event(std::uint64_t trace, TrackId t, sim::SimTime at,
+                   const char* cause);
 
   // --- analysis ------------------------------------------------------------
   [[nodiscard]] const std::vector<Delivery>& deliveries() const {
