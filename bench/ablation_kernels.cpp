@@ -4,12 +4,26 @@
 // *consecutive* jitter events (bursts), which is what actually expires a
 // PROFINET watchdog.
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_args.hpp"
 #include "core/report.hpp"
+#include "core/sweep_runner.hpp"
 #include "host/kernel.hpp"
 #include "sim/stats.hpp"
+
+namespace {
+
+/// One kernel's 200k-cycle sampling run -- independent per kernel kind,
+/// so the three runs fan out across the sweep pool.
+struct KernelRun {
+  std::string name;
+  steelnet::sim::SampleSet samples;
+  std::size_t longest_miss_run = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace steelnet;
@@ -26,59 +40,68 @@ int main(int argc, char** argv) {
   std::cout << "=== §2.1: kernel-induced latency, " << kSamples
             << " cycles ===\n\n";
 
-  std::vector<sim::SampleSet> samples;
-  std::vector<core::QuantileSeries> series;
-  std::vector<std::string> names;
-  std::vector<std::size_t> longest_miss_runs;
+  const std::vector<host::KernelKind> kinds{host::KernelKind::kVanilla,
+                                            host::KernelKind::kPreemptRt,
+                                            host::KernelKind::kDualKernel};
+  // Each kernel model owns its RNG (derived from kind + seed): the three
+  // sampling runs are independent and reduce in kind order.
+  const auto slots = core::SweepRunner{args.jobs}.run(
+      kinds.size(), [&](std::size_t i) {
+        host::KernelModel model(kinds[i], args.seed);
+        KernelRun run;
+        run.name = to_string(kinds[i]);
+        std::vector<bool> misses;
+        misses.reserve(kSamples);
+        for (int s = 0; s < kSamples; ++s) {
+          const double ns = double(model.sample(64).nanos());
+          run.samples.add(ns / 1000.0);  // us
+          misses.push_back(ns > budget_ns);
+        }
+        run.longest_miss_run = sim::longest_true_run(misses);
+        return run;
+      });
 
-  for (host::KernelKind kind :
-       {host::KernelKind::kVanilla, host::KernelKind::kPreemptRt,
-        host::KernelKind::kDualKernel}) {
-    host::KernelModel model(kind, args.seed);
-    sim::SampleSet s;
-    std::vector<bool> misses;
-    misses.reserve(kSamples);
-    for (int i = 0; i < kSamples; ++i) {
-      const double ns = double(model.sample(64).nanos());
-      s.add(ns / 1000.0);  // us
-      misses.push_back(ns > budget_ns);
+  std::vector<KernelRun> runs;
+  for (const auto& slot : slots) {
+    if (!slot.ok()) {
+      std::cerr << "ablation_kernels: sampling run failed: " << slot.error
+                << "\n";
+      return 1;
     }
-    longest_miss_runs.push_back(sim::longest_true_run(misses));
-    samples.push_back(std::move(s));
-    names.emplace_back(to_string(kind));
+    runs.push_back(*slot.value);
   }
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    series.push_back({names[i], &samples[i]});
-  }
+  std::vector<core::QuantileSeries> series;
+  for (const KernelRun& r : runs) series.push_back({r.name, &r.samples});
   std::cout << core::quantile_table(series, "us") << '\n';
 
   core::TextTable table({"kernel", "misses (>125 us)",
                          "longest consecutive-miss run",
                          "survives watchdog factor 3?"});
-  for (std::size_t i = 0; i < names.size(); ++i) {
+  for (const KernelRun& r : runs) {
     std::size_t misses = 0;
-    for (double v : samples[i].raw()) {
+    for (double v : r.samples.raw()) {
       if (v > budget_ns / 1000.0) ++misses;
     }
-    table.add_row({names[i], std::to_string(misses),
-                   std::to_string(longest_miss_runs[i]),
-                   longest_miss_runs[i] < 3 ? "yes" : "NO"});
+    table.add_row({r.name, std::to_string(misses),
+                   std::to_string(r.longest_miss_run),
+                   r.longest_miss_run < 3 ? "yes" : "NO"});
   }
   table.print(std::cout);
 
   std::cout << "\nshape checks (§2.1 [84]):\n"
-            << "  [" << (samples[1].percentile(99.99) <
-                                 samples[0].percentile(99.99)
+            << "  [" << (runs[1].samples.percentile(99.99) <
+                                 runs[0].samples.percentile(99.99)
                              ? "ok"
                              : "MISMATCH")
             << "] PREEMPT_RT beats vanilla at the 99.99th percentile\n"
-            << "  [" << (samples[2].percentile(99.99) <
-                                 samples[1].percentile(99.99)
+            << "  [" << (runs[2].samples.percentile(99.99) <
+                                 runs[1].samples.percentile(99.99)
                              ? "ok"
                              : "MISMATCH")
             << "] the dual-kernel RTOS beats PREEMPT_RT\n"
-            << "  [" << (samples[1].max() > samples[2].max() ? "ok"
-                                                             : "MISMATCH")
+            << "  [" << (runs[1].samples.max() > runs[2].samples.max()
+                             ? "ok"
+                             : "MISMATCH")
             << "] PREEMPT_RT is still not hard real-time (worst case)\n";
   return 0;
 }

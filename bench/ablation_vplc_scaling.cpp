@@ -12,6 +12,7 @@
 
 #include "bench_args.hpp"
 #include "core/report.hpp"
+#include "core/sweep_runner.hpp"
 #include "host/host_path.hpp"
 #include "net/switch_node.hpp"
 #include "profinet/controller.hpp"
@@ -96,11 +97,21 @@ int main(int argc, char** argv) {
   core::TextTable table({"vPLCs", "cycle error p50 (us)",
                          "cycle error p99 (us)", "p99.9 (us)", "max (us)",
                          "watchdog trips"});
+  // Each consolidation level is its own 5 s simulation; sweep the levels
+  // across the worker pool and tabulate in ascending-N order.
+  const std::vector<std::size_t> levels{1, 4, 16, 32, 64};
+  const auto slots = steelnet::core::SweepRunner{args.jobs}.run(
+      levels.size(), [&](std::size_t i) { return run_one(levels[i], 5_s); });
   std::vector<double> p99s;
-  for (std::size_t n : {1, 4, 16, 32, 64}) {
-    const auto r = run_one(n, 5_s);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (!slots[i].ok()) {
+      std::cerr << "ablation_vplc_scaling: N=" << levels[i]
+                << " failed: " << slots[i].error << "\n";
+      return 1;
+    }
+    const ScalingResult& r = *slots[i].value;
     p99s.push_back(r.cycle_error_us.percentile(99));
-    table.add_row({std::to_string(n),
+    table.add_row({std::to_string(levels[i]),
                    core::TextTable::num(r.cycle_error_us.percentile(50), 1),
                    core::TextTable::num(r.cycle_error_us.percentile(99), 1),
                    core::TextTable::num(r.cycle_error_us.percentile(99.9), 1),

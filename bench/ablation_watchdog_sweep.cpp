@@ -7,9 +7,11 @@
 // first. The sweep shows the trade-off.
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "bench_args.hpp"
 #include "core/report.hpp"
+#include "core/sweep_runner.hpp"
 #include "host/samplers.hpp"
 #include "host/host_path.hpp"
 #include "instaplc/instaplc.hpp"
@@ -96,11 +98,28 @@ int main(int argc, char** argv) {
   core::TextTable table({"threshold (cycles)", "false switchover (no fail)",
                          "detection latency (real fail)",
                          "device watchdog trips (real fail)"});
-  for (std::uint16_t threshold : {1, 2, 3, 5, 8, 16}) {
-    const auto quiet = run_one(threshold, /*inject_failure=*/false, args.seed);
-    const auto fail = run_one(threshold, /*inject_failure=*/true, args.seed);
+  // Each (threshold, inject_failure) cell is an independent simulation;
+  // sweep them across the worker pool and reduce in threshold order.
+  const std::vector<std::uint16_t> thresholds{1, 2, 3, 5, 8, 16};
+  const auto slots = steelnet::core::SweepRunner{args.jobs}.run(
+      2 * thresholds.size(), [&](std::size_t i) {
+        return run_one(thresholds[i / 2], /*inject_failure=*/(i % 2) != 0,
+                       args.seed);
+      });
+  for (std::size_t t = 0; t < thresholds.size(); ++t) {
+    if (!slots[2 * t].ok() || !slots[2 * t + 1].ok()) {
+      std::cerr << "ablation_watchdog_sweep: threshold "
+                << thresholds[t] << " failed: "
+                << (slots[2 * t].ok() ? slots[2 * t + 1].error
+                                      : slots[2 * t].error)
+                << "\n";
+      return 1;
+    }
+    const SweepResult& quiet = *slots[2 * t].value;
+    const SweepResult& fail = *slots[2 * t + 1].value;
     table.add_row(
-        {std::to_string(threshold), quiet.false_switchover ? "YES" : "no",
+        {std::to_string(thresholds[t]),
+         quiet.false_switchover ? "YES" : "no",
          fail.false_switchover ? "(false trigger)"
                                : fail.detection_latency.to_string(),
          std::to_string(fail.device_trips)});

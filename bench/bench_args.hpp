@@ -8,10 +8,14 @@
 //   --metrics <file> write a Prometheus-style metrics dump of the run
 //   --sweep <n>      where supported: sweep n seeds instead of the single
 //                    default run (ignored by binaries without a sweep mode)
+//   --jobs <n>       worker threads for independent sweep runs (default:
+//                    hardware concurrency; --jobs 1 is the sequential
+//                    loop). Output is byte-identical at any job count.
 // plus --help. Binaries without an obs wiring still accept --trace and
 // --metrics but warn on stderr that nothing will be produced.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -28,6 +32,9 @@ struct BenchArgs {
   std::optional<std::string> metrics_path;
   /// --sweep <n>: number of seeds to sweep; 0 means "no sweep requested".
   std::uint64_t sweep = 0;
+  /// --jobs <n>: worker threads for independent runs (core::SweepRunner
+  /// semantics: 0 means hardware concurrency, 1 the sequential loop).
+  std::size_t jobs = 0;
 
   /// Parses argv; exits on --help (0) and on malformed/unknown flags (2).
   static BenchArgs parse(int argc, char** argv,
@@ -58,10 +65,15 @@ struct BenchArgs {
       } else if (a == "--sweep") {
         args.sweep = std::strtoull(need_value(i, a), nullptr, 0);
         ++i;
+      } else if (a == "--jobs") {
+        args.jobs =
+            static_cast<std::size_t>(std::strtoull(need_value(i, a),
+                                                   nullptr, 0));
+        ++i;
       } else if (a == "--help" || a == "-h") {
         std::cout << "usage: " << prog
                   << " [--seed <n>] [--csv] [--trace <file>]"
-                     " [--metrics <file>] [--sweep <n>]\n";
+                     " [--metrics <file>] [--sweep <n>] [--jobs <n>]\n";
         std::exit(0);
       } else {
         std::cerr << prog << ": unknown argument '" << a

@@ -1,9 +1,11 @@
 // Google-benchmark microbenchmarks for the hot paths of every substrate.
 #include <benchmark/benchmark.h>
 
+#include "core/sweep_runner.hpp"
 #include "ebpf/programs.hpp"
 #include "ebpf/verifier.hpp"
 #include "ebpf/vm.hpp"
+#include "faults/scenario_runner.hpp"
 #include "flowmon/flow_cache.hpp"
 #include "net/host_node.hpp"
 #include "net/switch_node.hpp"
@@ -230,6 +232,32 @@ void BM_ObsSwitchForwarding(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) * 1000);
 }
 BENCHMARK(BM_ObsSwitchForwarding)->Arg(0)->Arg(1);
+
+// Sweep throughput: the tab_faults-style seed sweep (independent seeded
+// full-stack fault simulations) through the core::SweepRunner worker
+// pool. Arg = --jobs; items/s at Arg(8) over Arg(1) is the recorded
+// parallel-sweep speedup (the outputs themselves are byte-identical at
+// any job count, which the SweepRunner tests pin).
+void BM_SweepRunnerFaultScenarios(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kSeeds = 8;
+  const faults::ScenarioRunner runner;
+  std::vector<faults::FaultScenario> scenarios;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    scenarios.push_back(faults::random_scenario(seed));
+  }
+  for (auto _ : state) {
+    const auto slots = runner.run_sweep(scenarios, jobs);
+    for (const auto& slot : slots) {
+      if (!slot.ok()) state.SkipWithError(slot.error.c_str());
+    }
+    benchmark::DoNotOptimize(slots);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(kSeeds));
+}
+BENCHMARK(BM_SweepRunnerFaultScenarios)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_SwitchForwarding(benchmark::State& state) {
   for (auto _ : state) {

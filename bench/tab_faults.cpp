@@ -11,6 +11,9 @@
 //
 //   --sweep <n>       additionally run n seeded random fault scenarios
 //                     (the CI smoke sweep) and report the same invariants
+//   --jobs <n>        fan the independent runs out over n worker threads
+//                     (default: hardware concurrency); every artifact is
+//                     byte-identical to the --jobs 1 sequential loop
 //   --csv             machine-readable rows instead of the rendered table
 //   --trace <file>    Chrome-trace JSON of the silent-primary run
 //   --metrics <file>  Prometheus dump of the silent-primary run
@@ -21,6 +24,7 @@
 
 #include "bench_args.hpp"
 #include "core/report.hpp"
+#include "core/sweep_runner.hpp"
 #include "faults/scenario_runner.hpp"
 
 namespace {
@@ -56,16 +60,33 @@ int main(int argc, char** argv) {
     scenarios.push_back(faults::random_scenario(args.seed + i));
   }
 
+  // Every (scenario, replay) pair is an independent single-threaded
+  // simulation; fan them out and reduce in scenario order, so the rows --
+  // and with them every CSV/trace/metrics artifact -- are byte-identical
+  // at any --jobs value.
+  const auto slots =
+      core::SweepRunner{args.jobs}.run(scenarios.size(), [&](std::size_t i) {
+        Row row;
+        row.out = runner.run(scenarios[i]);
+        // Replay with the same seed: the whole outcome -- obs exports
+        // included -- must be byte-identical.
+        row.deterministic =
+            runner.run(scenarios[i]).fingerprint() == row.out.fingerprint();
+        return row;
+      });
+
   std::vector<Row> rows;
   rows.reserve(scenarios.size());
   std::string trace_json;
   std::string metrics_prom;
-  for (const auto& sc : scenarios) {
-    Row row;
-    row.out = runner.run(sc);
-    // Replay with the same seed: the whole outcome -- obs exports
-    // included -- must be byte-identical.
-    row.deterministic = runner.run(sc).fingerprint() == row.out.fingerprint();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (!slots[i].ok()) {
+      std::cerr << "tab_faults: scenario '" << scenarios[i].name
+                << "' (seed " << scenarios[i].seed
+                << ") failed: " << slots[i].error << "\n";
+      return 1;
+    }
+    Row row = *slots[i].value;
     if (opts.keep_exports && trace_json.empty()) {
       trace_json = row.out.trace_json;
       metrics_prom = row.out.metrics_prom;

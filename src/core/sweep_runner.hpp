@@ -1,0 +1,94 @@
+// steelnet::core -- the parallel seed-sweep engine.
+//
+// Every headline artifact in this repo (the tab_faults fault matrix, the
+// ablation sweeps, the 64-seed property sweeps) is a loop of fully
+// independent seeded single-threaded simulations. SweepRunner fans those
+// runs out across a fixed-size worker pool and hands the results back in
+// task order, so any aggregate built from them is byte-identical to the
+// sequential loop regardless of worker count or OS scheduling:
+//
+//   * each task must own every piece of mutable state it touches (its own
+//     Simulator/Network/ObsHub/FaultPlane; RNG streams derived from its
+//     seed) -- workers share nothing but the atomic task counter,
+//   * results land in slot-per-task storage; the caller reads the slots
+//     in task order, which is exactly the sequential order,
+//   * a throwing task never takes down the sweep or hangs a worker: the
+//     exception is captured as that slot's error while every other task
+//     completes normally.
+//
+// jobs == 1 never spawns a thread: tasks run inline on the calling
+// thread, preserving the exact historical single-threaded behaviour.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <optional>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace steelnet::core {
+
+/// Worker count for `requested` jobs over `tasks` tasks: 0 means one
+/// worker per hardware thread, and never more workers than tasks.
+[[nodiscard]] std::size_t effective_jobs(std::size_t requested,
+                                         std::size_t tasks);
+
+/// One task's outcome: a value, or the what() of the exception it threw.
+template <typename R>
+struct SweepSlot {
+  std::optional<R> value;
+  std::string error;
+  [[nodiscard]] bool ok() const { return value.has_value(); }
+};
+
+class SweepRunner {
+ public:
+  /// `jobs == 0` (the default) means one worker per hardware thread.
+  explicit SweepRunner(std::size_t jobs = 0) : jobs_(jobs) {}
+
+  [[nodiscard]] std::size_t jobs() const { return jobs_; }
+
+  /// Runs fn(0) .. fn(tasks-1) across the pool and returns slot-per-task
+  /// results in task order. `fn` is invoked concurrently from multiple
+  /// threads when jobs > 1, so it must not touch shared mutable state.
+  template <typename Fn>
+  [[nodiscard]] auto run(std::size_t tasks, Fn&& fn) const
+      -> std::vector<SweepSlot<std::invoke_result_t<Fn&, std::size_t>>> {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    std::vector<SweepSlot<R>> slots(tasks);
+    auto run_one = [&fn, &slots](std::size_t i) {
+      try {
+        slots[i].value.emplace(fn(i));
+      } catch (const std::exception& e) {
+        slots[i].error = e.what();
+      } catch (...) {
+        slots[i].error = "unknown exception";
+      }
+    };
+    const std::size_t workers = effective_jobs(jobs_, tasks);
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < tasks; ++i) run_one(i);
+      return slots;
+    }
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < tasks; i = next.fetch_add(1, std::memory_order_relaxed)) {
+        run_one(i);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    return slots;
+  }
+
+ private:
+  std::size_t jobs_;
+};
+
+}  // namespace steelnet::core

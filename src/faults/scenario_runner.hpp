@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/sweep_runner.hpp"
 #include "faults/fault_plane.hpp"
 #include "faults/scenario.hpp"
 
@@ -82,7 +83,20 @@ class ScenarioRunner {
   explicit ScenarioRunner(RunnerOptions opts = {}) : opts_(opts) {}
 
   /// Builds a fresh testbed, injects `scenario`, runs to the horizon.
+  ///
+  /// Reentrant: every piece of mutable state (simulator, network, fault
+  /// plane, obs hub, probes) lives on this call's stack and RNG streams
+  /// are derived from the scenario seed, so concurrent run() calls on
+  /// the same runner share nothing and replay byte-identically.
   [[nodiscard]] ScenarioOutcome run(const FaultScenario& scenario) const;
+
+  /// Runs every scenario through a core::SweepRunner worker pool (`jobs`
+  /// semantics as there; 1 = inline sequential loop, 0 = hardware
+  /// concurrency). Slots come back in scenario order, so aggregates are
+  /// independent of worker count; a throwing run surfaces as that slot's
+  /// error instead of killing the sweep.
+  [[nodiscard]] std::vector<core::SweepSlot<ScenarioOutcome>> run_sweep(
+      const std::vector<FaultScenario>& scenarios, std::size_t jobs = 1) const;
 
   [[nodiscard]] const RunnerOptions& options() const { return opts_; }
 

@@ -52,7 +52,14 @@ void CollectorNode::absorb(const ExportRecord& r) {
     a.first_seen = r.first_seen;
   }
   if (first_record || r.last_seen > a.last_seen) a.last_seen = r.last_seen;
-  if (r.packets >= 2 && r.min_iat < a.min_iat) a.min_iat = r.min_iat;
+  // Only multi-packet records carry a measured minimum IAT. Decoded
+  // records are wire data (an exporter bug or a corrupted-but-parseable
+  // frame can carry the SimTime::max() sentinel), so the sentinel is
+  // rejected here too, not just at view time.
+  if (r.packets >= 2 && r.min_iat != sim::SimTime::max() &&
+      r.min_iat < a.min_iat) {
+    a.min_iat = r.min_iat;
+  }
   // Keep the cadence estimate from the best-sampled record.
   if (r.packets >= a.cadence_packets) {
     a.cadence_packets = r.packets;

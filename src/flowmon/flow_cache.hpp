@@ -38,6 +38,12 @@ struct FlowRecord {
   sim::SimTime prev_iat;
   bool has_prev_iat = false;
 
+  /// min_iat with the unsampled SimTime::max() sentinel mapped to zero:
+  /// a flow with fewer than two packets has no inter-arrival gap, and the
+  /// sentinel must never leak into exports or taxonomy stats.
+  [[nodiscard]] sim::SimTime min_iat_or_zero() const {
+    return packets < 2 ? sim::SimTime::zero() : min_iat;
+  }
   [[nodiscard]] sim::SimTime mean_iat() const {
     if (packets < 2) return sim::SimTime::zero();
     return sim::SimTime{iat_sum_ns / static_cast<std::int64_t>(packets - 1)};

@@ -127,7 +127,7 @@ ExportRecord to_export_record(const FlowRecord& r, EndReason reason) {
   e.wire_bytes = r.wire_bytes;
   e.first_seen = r.first_seen;
   e.last_seen = r.last_seen;
-  e.min_iat = r.packets < 2 ? sim::SimTime::zero() : r.min_iat;
+  e.min_iat = r.min_iat_or_zero();
   e.mean_iat = r.mean_iat();
   e.jitter = r.mean_jitter();
   e.end_reason = reason;

@@ -22,6 +22,9 @@ bool EventQueue::pop_next(SimTime& time_out, Callback& cb_out) {
   auto& top = const_cast<Entry&>(heap_.top());
   time_out = top.time;
   cb_out = std::move(top.cb);
+  // The event is fired the moment it is handed to the caller: outstanding
+  // handles must stop reporting pending() and cancel() becomes a no-op.
+  *top.alive = false;
   heap_.pop();
   return true;
 }
@@ -37,7 +40,12 @@ bool EventQueue::empty() {
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  // Kill the liveness flag of every discarded entry so outstanding
+  // handles do not keep reporting pending() against an empty queue.
+  while (!heap_.empty()) {
+    *heap_.top().alive = false;
+    heap_.pop();
+  }
 }
 
 }  // namespace steelnet::sim

@@ -19,8 +19,8 @@ class EventHandle {
  public:
   EventHandle() = default;
 
-  /// True if the handle refers to an event that has not fired or been
-  /// cancelled yet.
+  /// True if the handle refers to an event that has not fired, been
+  /// cancelled, or been discarded by EventQueue::clear() yet.
   [[nodiscard]] bool pending() const { return alive_ && *alive_; }
 
   void cancel() {

@@ -148,6 +148,47 @@ TEST(ScenarioRunner, SameSeedSameScenarioIsByteIdentical) {
   }
 }
 
+TEST(ScenarioRunner, SweepJobs8MatchesJobs1ByteForByte) {
+  // The parallel-sweep acceptance bar: fanning the runs across a worker
+  // pool must not change a single byte of any outcome -- counters,
+  // fingerprints, or the full Prometheus/Chrome-trace exports.
+  RunnerOptions opts;
+  opts.keep_exports = true;
+  const ScenarioRunner runner{opts};
+  std::vector<FaultScenario> scenarios;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    scenarios.push_back(random_scenario(seed));
+  }
+  const auto seq = runner.run_sweep(scenarios, /*jobs=*/1);
+  const auto par = runner.run_sweep(scenarios, /*jobs=*/8);
+  ASSERT_EQ(seq.size(), scenarios.size());
+  ASSERT_EQ(par.size(), scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    SCOPED_TRACE(scenarios[i].name + " seed=" +
+                 std::to_string(scenarios[i].seed));
+    ASSERT_TRUE(seq[i].ok()) << seq[i].error;
+    ASSERT_TRUE(par[i].ok()) << par[i].error;
+    const ScenarioOutcome& a = *seq[i].value;
+    const ScenarioOutcome& b = *par[i].value;
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    EXPECT_EQ(a.metrics_fp, b.metrics_fp);
+    EXPECT_EQ(a.trace_fp, b.trace_fp);
+    EXPECT_EQ(a.metrics_prom, b.metrics_prom);
+    EXPECT_EQ(a.trace_json, b.trace_json);
+  }
+}
+
+TEST(ScenarioRunner, SweepSlotsComeBackInScenarioOrder) {
+  const ScenarioRunner runner;
+  const auto scenarios = canonical_scenarios(1);
+  const auto slots = runner.run_sweep(scenarios, /*jobs=*/4);
+  ASSERT_EQ(slots.size(), scenarios.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    ASSERT_TRUE(slots[i].ok()) << slots[i].error;
+    EXPECT_EQ(slots[i].value->scenario, scenarios[i].name);
+  }
+}
+
 TEST(ScenarioRunner, DifferentSeedsDiverge) {
   // A jittered link makes every arrival time seed-dependent: two seeds
   // colliding on the full trace export is effectively impossible.

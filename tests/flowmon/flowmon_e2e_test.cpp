@@ -277,6 +277,39 @@ TEST(FlowmonE2e, ReportRendersMeasuredFlows) {
             std::string::npos);
 }
 
+TEST(FlowmonE2e, OnePacketFlowExportsZeroMinIatNotTheSentinel) {
+  // A single-packet flow has no inter-arrival gap, so FlowRecord::min_iat
+  // still holds its SimTime::max() sentinel when the record is exported.
+  // The sentinel must never reach the wire, the merged collector view, or
+  // the rendered taxonomy artifacts -- all must report zero.
+  TapFixture fx;
+  fx.send_burst(1, 1_ms);
+  fx.sim.run_until(100_ms);  // one packet, then idle-expire + export
+
+  const auto flows = fx.collector->flows();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].packets, 1u);
+  EXPECT_EQ(flows[0].min_iat, sim::SimTime::zero());
+  EXPECT_EQ(flows[0].mean_iat, sim::SimTime::zero());
+
+  const auto csv = flows_csv(flows);
+  const auto sentinel = std::to_string(sim::SimTime::max().nanos());
+  EXPECT_EQ(csv.find(sentinel), std::string::npos) << csv;
+}
+
+TEST(Collector, WireSentinelMinIatNeverLeaksIntoMergedView) {
+  // Decoded records are untrusted wire data: an exporter that skips the
+  // single-packet guard (or a corrupted-but-parseable frame) can carry
+  // the sentinel alongside a multi-packet count. The merge must drop it.
+  CollectorNode c{net::MacAddress{0xC0}};
+  auto r = record_with(10, 1000, EndReason::kIdleTimeout);
+  r.min_iat = sim::SimTime::max();
+  c.handle_frame(export_frame(c.mac(), 0, true, {r}), 0);
+  const auto flows = c.flows();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].min_iat, sim::SimTime::zero());
+}
+
 // ---------------------------------------------------------------------
 // The measured §2.3 mix: golden determinism + taxonomy from measurement.
 

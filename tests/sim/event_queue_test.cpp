@@ -88,5 +88,41 @@ TEST(EventQueue, ClearDiscardsAll) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, FiredEventIsNoLongerPending) {
+  EventQueue q;
+  bool fired = false;
+  auto h = q.schedule(1_ns, [&] { fired = true; });
+  ASSERT_TRUE(h.pending());
+
+  SimTime t;
+  EventQueue::Callback cb;
+  ASSERT_TRUE(q.pop_next(t, cb));
+  // Popped == fired, even before the callback body runs: the handle must
+  // not claim a pending event against an empty queue.
+  EXPECT_FALSE(h.pending());
+  cb();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // cancelling a fired event is a no-op
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, ClearKillsOutstandingHandles) {
+  EventQueue q;
+  auto a = q.schedule(1_ns, [] {});
+  auto b = q.schedule(2_ns, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(a.pending());
+  EXPECT_FALSE(b.pending());
+  // Cancel-after-clear: a stale handle must stay a safe no-op.
+  a.cancel();
+  b.cancel();
+  EXPECT_FALSE(a.pending());
+  SimTime t;
+  EventQueue::Callback cb;
+  EXPECT_FALSE(q.pop_next(t, cb));
+}
+
 }  // namespace
 }  // namespace steelnet::sim
