@@ -55,13 +55,13 @@ class FlowSender {
 
  private:
   void fire() {
-    net::Frame frame;
+    net::Frame frame =
+        host_.network().frame_pool().make(plan_.payload_bytes);
     frame.dst = plan_.dst;
     frame.ethertype = plan_.ethertype;
     frame.pcp = plan_.pcp;
     frame.flow_id = plan_.flow_id;
     frame.seq = seq_++;
-    frame.payload.assign(plan_.payload_bytes, std::uint8_t(0));
     host_.send(std::move(frame));
     ++frames_sent_;
     sent_bytes_ += plan_.payload_bytes;

@@ -166,12 +166,12 @@ void InstaPlcApp::handle_secondary_pdu(const net::Frame& frame,
   if (!reply.has_value()) return;
   // Rule (1) inverted: the twin's (config) replies are injected toward
   // the secondary, impersonating the device.
-  net::Frame out;
+  net::Frame out = sw_.network().frame_pool().make(0);
   out.dst = frame.src;
   out.src = device_mac_;
   out.ethertype = net::EtherType::kProfinetRt;
   out.pcp = 6;
-  out.payload = profinet::encode(*reply);
+  profinet::encode_into(*reply, out.payload);
   sw_.inject(std::move(out), secondary_->port);
 }
 

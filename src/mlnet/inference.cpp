@@ -20,6 +20,10 @@ InferenceServer::InferenceServer(net::HostNode& host,
 }
 
 void InferenceServer::on_request(net::Frame frame, sim::SimTime at) {
+  const net::MacAddress requester = frame.src;
+  const std::uint64_t flow_id = frame.flow_id;
+  const std::uint64_t seq = frame.seq;
+  host_.network().frame_pool().recycle(std::move(frame));
   // Earliest-free worker; FIFO within the pool.
   auto it = std::min_element(worker_free_at_.begin(), worker_free_at_.end());
   const sim::SimTime start = std::max(at, *it);
@@ -31,12 +35,11 @@ void InferenceServer::on_request(net::Frame frame, sim::SimTime at) {
   queue_peak_ = std::max(queue_peak_, backlog);
   ++served_;
 
-  net::Frame resp;
-  resp.dst = frame.src;
+  net::Frame resp = host_.network().frame_pool().make(params_.response_bytes);
+  resp.dst = requester;
   resp.src = host_.mac();
-  resp.flow_id = frame.flow_id;
-  resp.seq = frame.seq;
-  resp.payload.assign(params_.response_bytes, 0);
+  resp.flow_id = flow_id;
+  resp.seq = seq;
   host_.network().sim().schedule_at(
       done, [this, r = std::move(resp)]() mutable {
         host_.send(std::move(r));
@@ -67,19 +70,20 @@ void InferenceClient::stop() {
 }
 
 void InferenceClient::send_request() {
-  net::Frame f;
+  net::Frame f = host_.network().frame_pool().make(request_bytes_);
   f.dst = server_;
   f.src = host_.mac();
   f.flow_id = client_id_;
   f.seq = seq_++;
-  f.payload.assign(request_bytes_, 0);
   in_flight_[f.seq] = host_.network().sim().now();
   ++sent_;
   host_.send(std::move(f));
 }
 
 void InferenceClient::on_response(net::Frame frame, sim::SimTime at) {
-  const auto it = in_flight_.find(frame.seq);
+  const std::uint64_t seq = frame.seq;
+  host_.network().frame_pool().recycle(std::move(frame));
+  const auto it = in_flight_.find(seq);
   if (it == in_flight_.end()) return;
   latency_ms_.add((at - it->second).millis());
   in_flight_.erase(it);

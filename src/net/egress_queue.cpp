@@ -38,6 +38,7 @@ void EgressQueue::enqueue(Frame frame) {
                        owner_.network().sim().now(), "tx_suppressed");
     }
     fp->on_tx_suppressed(owner_.id(), frame);
+    owner_.network().frame_pool().recycle(std::move(frame));
     return;
   }
   const std::uint8_t pcp = frame.pcp & 0x7;
@@ -48,6 +49,7 @@ void EgressQueue::enqueue(Frame frame) {
       hub->queue_drop(frame.trace_id, obs_track(*hub));
     }
     owner_.on_egress_drop(port_, frame);
+    owner_.network().frame_pool().recycle(std::move(frame));
     return;
   }
   ++counters_.enqueued;
@@ -80,6 +82,7 @@ void EgressQueue::drain() {
                            net.sim().now(), "tx_suppressed");
         }
         fp->on_tx_suppressed(owner_.id(), q.front());
+        net.frame_pool().recycle(std::move(q.front()));
         q.pop_front();
       }
     }

@@ -4,12 +4,12 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 
 #include "net/frame.hpp"
 #include "net/node.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
+#include "sim/ring_queue.hpp"
 
 namespace steelnet::net {
 
@@ -63,7 +63,10 @@ class EgressQueue {
   Node& owner_;
   PortId port_;
   std::size_t capacity_;
-  std::array<std::deque<Frame>, kPriorities> queues_;
+  /// Ring buffers, not deques: steady-state push/pop at depth 0-1 must
+  /// not touch the allocator (deque block churn breaks the kernel's
+  /// allocation-free guarantee; see sim/ring_queue.hpp).
+  std::array<sim::RingQueue<Frame>, kPriorities> queues_;
   const GateController* gates_ = nullptr;
   sim::EventHandle gate_retry_;
   std::uint32_t obs_track_ = static_cast<std::uint32_t>(-1);

@@ -23,7 +23,7 @@ std::size_t Frame::occupancy_bytes() const {
 }
 
 std::uint64_t Frame::read_u64(std::size_t offset) const {
-  if (offset + 8 > payload.size()) {
+  if (!payload_range_ok(offset, 8)) {
     throw std::out_of_range("Frame::read_u64 past payload end");
   }
   std::uint64_t v = 0;
@@ -32,7 +32,7 @@ std::uint64_t Frame::read_u64(std::size_t offset) const {
 }
 
 void Frame::write_u64(std::size_t offset, std::uint64_t value) {
-  if (offset + 8 > payload.size()) {
+  if (!payload_range_ok(offset, 8)) {
     throw std::out_of_range("Frame::write_u64 past payload end");
   }
   for (std::size_t i = 0; i < 8; ++i) {
@@ -41,7 +41,7 @@ void Frame::write_u64(std::size_t offset, std::uint64_t value) {
 }
 
 std::uint32_t Frame::read_u32(std::size_t offset) const {
-  if (offset + 4 > payload.size()) {
+  if (!payload_range_ok(offset, 4)) {
     throw std::out_of_range("Frame::read_u32 past payload end");
   }
   std::uint32_t v = 0;
@@ -50,7 +50,7 @@ std::uint32_t Frame::read_u32(std::size_t offset) const {
 }
 
 void Frame::write_u32(std::size_t offset, std::uint32_t value) {
-  if (offset + 4 > payload.size()) {
+  if (!payload_range_ok(offset, 4)) {
     throw std::out_of_range("Frame::write_u32 past payload end");
   }
   for (std::size_t i = 0; i < 4; ++i) {
@@ -59,7 +59,7 @@ void Frame::write_u32(std::size_t offset, std::uint32_t value) {
 }
 
 std::uint16_t Frame::read_u16(std::size_t offset) const {
-  if (offset + 2 > payload.size()) {
+  if (!payload_range_ok(offset, 2)) {
     throw std::out_of_range("Frame::read_u16 past payload end");
   }
   return static_cast<std::uint16_t>(payload[offset] |
@@ -67,7 +67,7 @@ std::uint16_t Frame::read_u16(std::size_t offset) const {
 }
 
 void Frame::write_u16(std::size_t offset, std::uint16_t value) {
-  if (offset + 2 > payload.size()) {
+  if (!payload_range_ok(offset, 2)) {
     throw std::out_of_range("Frame::write_u16 past payload end");
   }
   payload[offset] = static_cast<std::uint8_t>(value);

@@ -32,6 +32,7 @@ void HostNode::send(Frame frame) {
   if (FaultInjector* fp = network().faults();
       fp != nullptr && !fp->node_alive(id())) {
     fp->on_tx_suppressed(id(), frame);
+    network().frame_pool().recycle(std::move(frame));
     return;
   }
   ++counters_.sent;
@@ -62,6 +63,7 @@ void HostNode::handle_frame(Frame frame, PortId in_port) {
   if (FaultInjector* fp = network().faults();
       fp != nullptr && !fp->node_alive(id())) {
     fp->on_rx_suppressed(id(), frame);
+    network().frame_pool().recycle(std::move(frame));
     return;
   }
   observe_frame(frame, in_port);
@@ -71,6 +73,7 @@ void HostNode::handle_frame(Frame frame, PortId in_port) {
   if (!frame.dst.is_broadcast() && !frame.dst.is_multicast() &&
       frame.dst != mac_) {
     ++counters_.filtered;
+    network().frame_pool().recycle(std::move(frame));
     return;
   }
   if (nic_prog_ != nullptr) {
@@ -84,9 +87,11 @@ void HostNode::handle_frame(Frame frame, PortId in_port) {
     switch (action) {
       case NicAction::kDrop:
         ++counters_.nic_drop;
+        network().frame_pool().recycle(std::move(frame));
         return;
       case NicAction::kAborted:
         ++counters_.nic_aborted;
+        network().frame_pool().recycle(std::move(frame));
         return;
       case NicAction::kTx: {
         ++counters_.nic_tx;

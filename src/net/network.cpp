@@ -43,6 +43,7 @@ sim::SimTime Network::transmit(NodeId node, PortId port, Frame frame) {
   const auto it = channels_.find(key(node, port));
   if (it == channels_.end()) {
     ++counters_.frames_dropped_no_link;
+    pool_.recycle(std::move(frame));
     return sim_.now();
   }
   Channel& ch = it->second;
@@ -100,8 +101,10 @@ sim::SimTime Network::transmit(NodeId node, PortId port, Frame frame) {
     const NodeId peer_node = ch.peer_node;
     const PortId peer_port = ch.peer_port;
     const std::size_t wire = frame.wire_bytes();
+    // The fault plane's duplicate re-enqueue draws its copy from the
+    // pool, so steady duplication storms do not churn the allocator.
     std::optional<Frame> copy;
-    if (duplicate) copy = frame;
+    if (duplicate) copy = pool_.clone(frame);
     ++counters_.frames_in_flight;
     sim_.schedule_at(arrival, [this, peer_node, peer_port, wire,
                                f = std::move(frame)]() mutable {
@@ -114,6 +117,10 @@ sim::SimTime Network::transmit(NodeId node, PortId port, Frame frame) {
         deliver_frame(peer_node, peer_port, wire, std::move(f));
       });
     }
+  } else {
+    // Killed on the wire (link down, loss, sender down): the payload
+    // buffer goes back to the pool once the fault ledger has seen it.
+    pool_.recycle(std::move(frame));
   }
   // Tell the sender its channel is free again (fires after the frame's
   // last bit leaves, before/independent of delivery at the peer -- even a
@@ -134,6 +141,7 @@ void Network::deliver_frame(NodeId peer_node, PortId peer_port,
                         "receiver_down");
     }
     faults_->on_receiver_down(peer_node, frame, sim_.now());
+    pool_.recycle(std::move(frame));
     return;
   }
   ++counters_.frames_delivered;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/frame.hpp"
+#include "net/frame_pool.hpp"
 #include "net/node.hpp"
 #include "sim/simulator.hpp"
 
@@ -98,6 +99,12 @@ class Network {
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   [[nodiscard]] const NetworkCounters& counters() const { return counters_; }
 
+  /// Recycled payload buffers for the data path. Producers draw frames
+  /// with `frame_pool().make(bytes)`; every frame the kernel kills (drop,
+  /// filter, fault absorption) returns its buffer here, and application
+  /// receivers may close the loop by recycling frames they consumed.
+  [[nodiscard]] FramePool& frame_pool() { return pool_; }
+
   /// Attaches/detaches the observability plane. Not owned; must outlive
   /// the network (or be detached first). nullptr = observability off --
   /// every hook site in the data path then costs one pointer-null branch.
@@ -139,6 +146,7 @@ class Network {
   sim::Simulator& sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_map<std::uint64_t, Channel> channels_;
+  FramePool pool_;
   NetworkCounters counters_;
   obs::ObsHub* obs_ = nullptr;
   FaultInjector* faults_ = nullptr;

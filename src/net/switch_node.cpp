@@ -57,23 +57,29 @@ void SwitchNode::handle_frame(Frame frame, PortId in_port) {
       cfg_.processing_delay, [this, f = std::move(f), in_port]() mutable {
         const auto out = lookup(f.dst);
         if (out.has_value()) {
-          if (*out == in_port) return;  // would hairpin; drop
+          if (*out == in_port) {  // would hairpin; drop
+            network().frame_pool().recycle(std::move(f));
+            return;
+          }
           ++counters_.frames_forwarded;
           forward(std::move(f), *out);
           return;
         }
         if (f.dst.is_broadcast() || f.dst.is_multicast() ||
             cfg_.mac_learning) {
-          // Flood to every connected port except ingress.
+          // Flood to every connected port except ingress; each copy
+          // draws its payload buffer from the pool.
           ++counters_.frames_flooded;
           for (const auto& [port, peer] : network().ports_of(id())) {
             (void)peer;
             if (port == in_port) continue;
-            forward(f, port);
+            forward(network().frame_pool().clone(f), port);
           }
+          network().frame_pool().recycle(std::move(f));
           return;
         }
         ++counters_.frames_dropped_unknown;
+        network().frame_pool().recycle(std::move(f));
       });
 }
 

@@ -20,19 +20,21 @@ const char* to_string(ControllerState s) {
 CyclicController::CyclicController(net::HostNode& host, ControllerConfig cfg)
     : host_(host), cfg_(std::move(cfg)) {
   host_.set_receiver([this](net::Frame f, sim::SimTime at) {
-    on_frame(std::move(f), at);
+    on_frame(f, at);
+    // Consumed: the payload buffer goes back to the pool.
+    host_.network().frame_pool().recycle(std::move(f));
   });
 }
 
 void CyclicController::send_pdu(const Pdu& pdu) {
-  net::Frame f;
+  net::Frame f = host_.network().frame_pool().make(0);
   f.dst = cfg_.device_mac;
   f.src = host_.mac();
   f.ethertype = net::EtherType::kProfinetRt;
   f.pcp = 6;
   f.flow_id = cfg_.ar_id;
   f.seq = tx_cycle_counter_;
-  f.payload = encode(pdu);
+  encode_into(pdu, f.payload);
   host_.send(std::move(f));
 }
 
@@ -111,7 +113,7 @@ void CyclicController::controller_cycle() {
   send_pdu(out);
 }
 
-void CyclicController::on_frame(net::Frame frame, sim::SimTime) {
+void CyclicController::on_frame(const net::Frame& frame, sim::SimTime) {
   if (frame.ethertype != net::EtherType::kProfinetRt) return;
   if (state_ == ControllerState::kStopped) return;
   const auto pdu = decode(frame.payload);

@@ -98,7 +98,7 @@ class CyclicController {
   void register_metrics(obs::ObsHub& hub) const;
 
  private:
-  void on_frame(net::Frame frame, sim::SimTime at);
+  void on_frame(const net::Frame& frame, sim::SimTime at);
   void send_connect();
   void controller_cycle();
   void send_pdu(const Pdu& pdu);

@@ -18,22 +18,24 @@ const char* to_string(DeviceState s) {
 IoDevice::IoDevice(net::HostNode& host, IoDeviceConfig cfg)
     : host_(host), cfg_(cfg) {
   host_.set_receiver([this](net::Frame f, sim::SimTime at) {
-    on_frame(std::move(f), at);
+    on_frame(f, at);
+    // Consumed: the payload buffer goes back to the pool.
+    host_.network().frame_pool().recycle(std::move(f));
   });
 }
 
 void IoDevice::send_pdu(const Pdu& pdu) {
-  net::Frame f;
+  net::Frame f = host_.network().frame_pool().make(0);
   f.dst = controller_mac_;
   f.src = host_.mac();
   f.ethertype = net::EtherType::kProfinetRt;
   f.pcp = 6;
   f.flow_id = ar_id_;
-  f.payload = encode(pdu);
+  encode_into(pdu, f.payload);
   host_.send(std::move(f));
 }
 
-void IoDevice::on_frame(net::Frame frame, sim::SimTime) {
+void IoDevice::on_frame(const net::Frame& frame, sim::SimTime) {
   if (frame.ethertype != net::EtherType::kProfinetRt) return;
   const auto pdu = decode(frame.payload);
   if (!pdu.has_value()) {

@@ -85,7 +85,7 @@ class IoDevice {
   void register_metrics(obs::ObsHub& hub) const;
 
  private:
-  void on_frame(net::Frame frame, sim::SimTime at);
+  void on_frame(const net::Frame& frame, sim::SimTime at);
   void handle(const ConnectReq& p, net::MacAddress from);
   void handle(const ParamRecord& p);
   void handle(const ParamDone& p);

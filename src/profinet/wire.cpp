@@ -19,6 +19,8 @@ namespace {
 
 class Writer {
  public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u16(std::uint16_t v) {
     out_.push_back(static_cast<std::uint8_t>(v));
@@ -31,10 +33,8 @@ class Writer {
   void bytes(const std::vector<std::uint8_t>& b) {
     out_.insert(out_.end(), b.begin(), b.end());
   }
-  std::vector<std::uint8_t> take() { return std::move(out_); }
-
  private:
-  std::vector<std::uint8_t> out_;
+  std::vector<std::uint8_t>& out_;
 };
 
 class Reader {
@@ -75,61 +75,61 @@ class Reader {
 struct Encoder {
   Writer w;
 
-  std::vector<std::uint8_t> operator()(const ConnectReq& p) {
+  void operator()(const ConnectReq& p) {
     w.u8(static_cast<std::uint8_t>(PduType::kConnectReq));
     w.u16(p.ar_id);
     w.u32(p.cycle_time_us);
     w.u16(p.watchdog_factor);
     w.u16(p.input_bytes);
     w.u16(p.output_bytes);
-    return w.take();
   }
-  std::vector<std::uint8_t> operator()(const ConnectResp& p) {
+  void operator()(const ConnectResp& p) {
     w.u8(static_cast<std::uint8_t>(PduType::kConnectResp));
     w.u16(p.ar_id);
     w.u8(p.status);
     w.u32(p.device_id);
-    return w.take();
   }
-  std::vector<std::uint8_t> operator()(const ParamRecord& p) {
+  void operator()(const ParamRecord& p) {
     w.u8(static_cast<std::uint8_t>(PduType::kParamRecord));
     w.u16(p.ar_id);
     w.u16(p.record_index);
     w.u16(static_cast<std::uint16_t>(p.data.size()));
     w.bytes(p.data);
-    return w.take();
   }
-  std::vector<std::uint8_t> operator()(const ParamDone& p) {
+  void operator()(const ParamDone& p) {
     w.u8(static_cast<std::uint8_t>(PduType::kParamDone));
     w.u16(p.ar_id);
-    return w.take();
   }
-  std::vector<std::uint8_t> operator()(const CyclicData& p) {
+  void operator()(const CyclicData& p) {
     w.u8(static_cast<std::uint8_t>(PduType::kCyclicData));
     w.u16(p.ar_id);
     w.u16(p.cycle_counter);
     w.u8(p.data_status);
     w.u16(static_cast<std::uint16_t>(p.data.size()));
     w.bytes(p.data);
-    return w.take();
   }
-  std::vector<std::uint8_t> operator()(const Alarm& p) {
+  void operator()(const Alarm& p) {
     w.u8(static_cast<std::uint8_t>(PduType::kAlarm));
     w.u16(p.ar_id);
     w.u8(p.alarm_type);
-    return w.take();
   }
-  std::vector<std::uint8_t> operator()(const Release& p) {
+  void operator()(const Release& p) {
     w.u8(static_cast<std::uint8_t>(PduType::kRelease));
     w.u16(p.ar_id);
-    return w.take();
   }
 };
 
 }  // namespace
 
+void encode_into(const Pdu& pdu, std::vector<std::uint8_t>& out) {
+  out.clear();
+  std::visit(Encoder{Writer{out}}, pdu);
+}
+
 std::vector<std::uint8_t> encode(const Pdu& pdu) {
-  return std::visit(Encoder{}, pdu);
+  std::vector<std::uint8_t> out;
+  encode_into(pdu, out);
+  return out;
 }
 
 std::optional<Pdu> decode(const std::vector<std::uint8_t>& payload) {

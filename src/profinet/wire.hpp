@@ -100,6 +100,10 @@ constexpr std::size_t kDataStatus = 5;
 /// caller's business).
 [[nodiscard]] std::vector<std::uint8_t> encode(const Pdu& pdu);
 
+/// Serializes `pdu` into `out` (cleared first), reusing its capacity --
+/// the allocation-free TX path when `out` is a pooled payload buffer.
+void encode_into(const Pdu& pdu, std::vector<std::uint8_t>& out);
+
 /// Parses a payload. Returns nullopt on malformed/truncated input.
 [[nodiscard]] std::optional<Pdu> decode(
     const std::vector<std::uint8_t>& payload);

@@ -38,12 +38,19 @@ void SdnSwitchNode::handle_frame(net::Frame frame, net::PortId in_port) {
         }
         if (r.dropped) {
           ++counters_.dropped;
+          network().frame_pool().recycle(std::move(frame));
+          return;
+        }
+        if (r.egress.empty()) {
+          network().frame_pool().recycle(std::move(frame));
           return;
         }
         for (std::size_t i = 0; i < r.egress.size(); ++i) {
           ++counters_.frames_out;
-          net::Frame copy =
-              i + 1 == r.egress.size() ? std::move(frame) : frame;
+          // Multicast copies draw their payload buffers from the pool.
+          net::Frame copy = i + 1 == r.egress.size()
+                                ? std::move(frame)
+                                : network().frame_pool().clone(frame);
           if (r.egress[i].dst_override.has_value()) {
             copy.dst = *r.egress[i].dst_override;
           }

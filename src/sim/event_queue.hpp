@@ -1,36 +1,69 @@
 // steelnet::sim -- the pending-event set of the discrete-event kernel.
+//
+// Allocation-free after warm-up: callbacks live in a slab of
+// generation-counted slots recycled through a free list, cancellation
+// handles are {slot, generation} pairs (no per-event control block), and
+// the binary heap orders 24-byte {time, seq, slot, generation} entries.
+// The only allocations are amortized growth of the slab, the free list
+// and the heap vector -- steady-state cyclic traffic schedules and fires
+// without touching the heap allocator.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/inplace_function.hpp"
 #include "sim/time.hpp"
 
 namespace steelnet::sim {
 
+namespace detail {
+/// Generation table shared between a queue and its outstanding handles
+/// (one shared_ptr control block per *queue*, not per event). Handles
+/// only ever read/bump generations, so they stay safe after the queue --
+/// and its callback slab -- are gone.
+struct EventGenerations {
+  std::vector<std::uint32_t> gen;
+  /// Successful handle cancellations (first cancel of a live event).
+  std::uint64_t cancelled_total = 0;
+};
+}  // namespace detail
+
 /// Opaque handle used to cancel a scheduled event.
 ///
-/// Cancellation is lazy: the event stays in the heap but is skipped when
-/// popped. This keeps scheduling O(log n) with no heap surgery.
+/// Cancellation is lazy: the event's slot generation is bumped, the heap
+/// entry stays in place and is reclaimed when popped. Scheduling stays
+/// O(log n), cancel/pending are O(1), and no heap surgery ever happens.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// True if the handle refers to an event that has not fired, been
   /// cancelled, or been discarded by EventQueue::clear() yet.
-  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+  [[nodiscard]] bool pending() const {
+    return gens_ != nullptr && gens_->gen[slot_] == gen_;
+  }
 
   void cancel() {
-    if (alive_) *alive_ = false;
+    // The generation guard makes double-cancel and cancel-after-fire
+    // no-ops, and keeps a stale handle from killing a recycled slot's
+    // next occupant.
+    if (pending()) {
+      ++gens_->gen[slot_];
+      ++gens_->cancelled_total;
+    }
   }
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(std::shared_ptr<detail::EventGenerations> gens,
+              std::uint32_t slot, std::uint32_t gen)
+      : gens_(std::move(gens)), slot_(slot), gen_(gen) {}
+
+  std::shared_ptr<detail::EventGenerations> gens_;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// Min-heap of (time, insertion-sequence) ordered callbacks.
@@ -39,21 +72,39 @@ class EventHandle {
 /// makes simulations fully deterministic.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceFunction<kEventCallbackCapacity>;
+
+  EventQueue();
 
   /// Schedules `cb` at absolute time `at`. Returns a cancellable handle.
   EventHandle schedule(SimTime at, Callback cb);
 
   /// Pops the earliest live event. Returns false if the queue is empty
-  /// (after discarding any cancelled events at the front).
+  /// (after reclaiming any cancelled events at the front).
   bool pop_next(SimTime& time_out, Callback& cb_out);
 
   /// Earliest live event time, or SimTime::max() when empty.
   [[nodiscard]] SimTime next_time();
 
   [[nodiscard]] bool empty();
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Number of *live* (not-yet-fired, not-cancelled) events. Cancelled
+  /// entries awaiting lazy reclamation are excluded.
+  [[nodiscard]] std::size_t size() const { return live_size(); }
+  [[nodiscard]] std::size_t live_size() const {
+    return heap_.size() - dead_in_heap();
+  }
+  /// Heap entries including cancelled-but-unpopped ones.
+  [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
+
   [[nodiscard]] std::uint64_t scheduled_total() const { return seq_; }
+  /// Events cancelled through a handle over the queue's lifetime.
+  [[nodiscard]] std::uint64_t cancelled_total() const {
+    return gens_->cancelled_total;
+  }
+  /// Callback slots ever allocated. Stays flat once the working set is
+  /// warm -- the recycling assertion the kernel benches pin.
+  [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
 
   void clear();
 
@@ -61,9 +112,11 @@ class EventQueue {
   struct Entry {
     SimTime time;
     std::uint64_t seq;
-    Callback cb;
-    std::shared_ptr<bool> alive;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
+  /// Min-heap order: std::push_heap builds a max-heap, so "greater" sorts
+  /// the earliest (time, seq) to the front.
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
@@ -71,10 +124,28 @@ class EventQueue {
     }
   };
 
+  /// Cancelled entries still sitting in the heap.
+  [[nodiscard]] std::size_t dead_in_heap() const {
+    return static_cast<std::size_t>(gens_->cancelled_total -
+                                    reclaimed_cancelled_);
+  }
+
+  [[nodiscard]] bool entry_dead(const Entry& e) const {
+    return gens_->gen[e.slot] != e.gen;
+  }
+
+  void heap_push(Entry e);
+  void heap_pop();
+  /// Releases the popped entry's callback slot back to the free list.
+  void release_slot(std::uint32_t slot);
   void drop_dead_front();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Entry> heap_;  ///< binary min-heap via std::push/pop_heap
+  std::vector<Callback> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::shared_ptr<detail::EventGenerations> gens_;
   std::uint64_t seq_ = 0;
+  std::uint64_t reclaimed_cancelled_ = 0;
 };
 
 }  // namespace steelnet::sim

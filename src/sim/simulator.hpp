@@ -51,6 +51,11 @@ class Simulator {
 
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::size_t events_pending() { return queue_.size(); }
+  /// Callback slots the kernel ever allocated; flat after warm-up when
+  /// the slab recycles (see EventQueue::slot_capacity).
+  [[nodiscard]] std::size_t event_slot_capacity() const {
+    return queue_.slot_capacity();
+  }
 
   /// Resets time to zero and discards all pending events.
   void reset();

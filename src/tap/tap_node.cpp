@@ -25,6 +25,8 @@ void TapNode::handle_frame(net::Frame frame, net::PortId in_port) {
       passthrough_, [this, out, f = std::move(frame)]() mutable {
         if (network().channel_idle(id(), out)) {
           network().transmit(id(), out, std::move(f));
+        } else {
+          network().frame_pool().recycle(std::move(f));
         }
         // A tap that can't forward (busy monitor-side wire) would corrupt
         // the line; with symmetric rates this cannot happen in practice,

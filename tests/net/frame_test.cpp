@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace steelnet::net {
 namespace {
 
@@ -56,7 +58,43 @@ TEST(Frame, PayloadAccessBoundsChecked) {
   EXPECT_THROW(f.read_u64(3), std::out_of_range);
   EXPECT_THROW(f.write_u64(3, 0), std::out_of_range);
   EXPECT_THROW(f.read_u32(7), std::out_of_range);
+  EXPECT_THROW(f.write_u32(7, 0), std::out_of_range);
   EXPECT_THROW(f.read_u16(9), std::out_of_range);
+  EXPECT_THROW(f.write_u16(9, 0), std::out_of_range);
+}
+
+TEST(Frame, PayloadAccessAtExactBoundary) {
+  Frame f;
+  f.payload.resize(10);
+  // offset + width == size is legal for every accessor width.
+  f.write_u64(2, 0x0102'0304'0506'0708ULL);
+  EXPECT_EQ(f.read_u64(2), 0x0102'0304'0506'0708ULL);
+  f.write_u32(6, 0xa1b2c3d4);
+  EXPECT_EQ(f.read_u32(6), 0xa1b2c3d4u);
+  f.write_u16(8, 0xbeef);
+  EXPECT_EQ(f.read_u16(8), 0xbeefu);
+}
+
+TEST(Frame, HugeOffsetsDoNotWrapTheBoundsCheck) {
+  // A fault-corrupted offset near SIZE_MAX must throw, not wrap
+  // `offset + n` past the bound and read through as UB.
+  Frame f;
+  f.payload.resize(64);
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() - 3;
+  EXPECT_THROW(f.read_u64(huge), std::out_of_range);
+  EXPECT_THROW(f.write_u64(huge, 1), std::out_of_range);
+  EXPECT_THROW(f.read_u32(huge), std::out_of_range);
+  EXPECT_THROW(f.write_u32(huge, 1), std::out_of_range);
+  EXPECT_THROW(f.read_u16(huge), std::out_of_range);
+  EXPECT_THROW(f.write_u16(huge, 1), std::out_of_range);
+}
+
+TEST(Frame, EmptyPayloadAlwaysThrows) {
+  Frame f;
+  EXPECT_THROW(f.read_u64(0), std::out_of_range);
+  EXPECT_THROW(f.read_u32(0), std::out_of_range);
+  EXPECT_THROW(f.read_u16(0), std::out_of_range);
+  EXPECT_THROW(f.write_u16(0, 1), std::out_of_range);
 }
 
 TEST(SerializationTime, GigabitMath) {
