@@ -57,6 +57,7 @@ void FaultPlane::crash_node(net::NodeId node) {
       it != crash_handlers_.end() && it->second) {
     it->second();
   }
+  notify_watchers(node, NodeEvent::Kind::kCrash);
 }
 
 void FaultPlane::restart_node(net::NodeId node) {
@@ -67,6 +68,7 @@ void FaultPlane::restart_node(net::NodeId node) {
       it != restart_handlers_.end() && it->second) {
     it->second();
   }
+  notify_watchers(node, NodeEvent::Kind::kRestart);
 }
 
 void FaultPlane::stop_node(net::NodeId node) {
@@ -76,6 +78,32 @@ void FaultPlane::stop_node(net::NodeId node) {
       it != crash_handlers_.end() && it->second) {
     it->second();
   }
+  notify_watchers(node, NodeEvent::Kind::kStop);
+}
+
+void FaultPlane::add_node_watcher(std::function<void(const NodeEvent&)> fn) {
+  watchers_.push_back(std::move(fn));
+}
+
+void FaultPlane::notify_watchers(net::NodeId node, NodeEvent::Kind kind) {
+  if (watchers_.empty()) return;
+  NodeEvent ev;
+  ev.node = node;
+  ev.kind = kind;
+  ev.epoch = down_epoch_[node];
+  ev.at = net_.sim().now();
+  for (const auto& w : watchers_) w(ev);
+}
+
+std::uint64_t FaultPlane::incarnation(net::NodeId node) const {
+  const auto it = down_epoch_.find(node);
+  return it == down_epoch_.end() ? 0 : it->second;
+}
+
+bool FaultPlane::restart_node_if(net::NodeId node, std::uint64_t epoch) {
+  if (down_epoch_[node] != epoch) return false;
+  restart_node(node);
+  return true;
 }
 
 void FaultPlane::set_crash_handler(net::NodeId node, std::function<void()> fn) {

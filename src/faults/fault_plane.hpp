@@ -23,6 +23,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "faults/scenario.hpp"
 #include "net/network.hpp"
@@ -74,6 +75,20 @@ struct LinkFaultProfile {
   sim::SimTime jitter_max;     ///< uniform [0, jitter_max] per frame
 };
 
+/// One node-lifecycle transition, as seen by plane watchers (the
+/// orchestration layer subscribes to these to keep its inventory and
+/// per-rack crash accounting in step with the plane without claiming the
+/// single per-node crash/restart handler slot).
+struct NodeEvent {
+  enum class Kind : std::uint8_t { kCrash, kStop, kRestart };
+  net::NodeId node = 0;
+  Kind kind = Kind::kCrash;
+  /// Incarnation epoch *after* the transition (every crash/stop/restart
+  /// bumps it).
+  std::uint64_t epoch = 0;
+  sim::SimTime at;
+};
+
 class FaultPlane final : public net::FaultInjector {
  public:
   /// Binds to `net` (callers still attach via net.set_faults(this)) and
@@ -115,6 +130,22 @@ class FaultPlane final : public net::FaultInjector {
   /// When the node is currently crashed: the crash time.
   [[nodiscard]] std::optional<sim::SimTime> crashed_at(net::NodeId node) const;
 
+  /// Subscribes to every node-lifecycle transition (crash/stop/restart,
+  /// with the post-transition epoch). Watchers are invoked in registration
+  /// order, after the per-node handler -- any number may subscribe, so
+  /// orchestration layers don't fight over the handler slots.
+  void add_node_watcher(std::function<void(const NodeEvent&)> fn);
+
+  /// Current incarnation epoch of `node` (0 until its first transition).
+  [[nodiscard]] std::uint64_t incarnation(net::NodeId node) const;
+  /// Restarts `node` only if its epoch still equals `epoch` -- the
+  /// safe form for externally scheduled restarts (an orchestrator's
+  /// "upgrade done, bring it back"): a crash or kill that lands in
+  /// between bumps the epoch and vetoes the stale restart, so a node
+  /// killed in a later epoch is never resurrected. Returns whether the
+  /// restart happened.
+  bool restart_node_if(net::NodeId node, std::uint64_t epoch);
+
   /// Node id by name, resolved against the bound network.
   [[nodiscard]] std::optional<net::NodeId> find_node(
       std::string_view name) const;
@@ -145,6 +176,7 @@ class FaultPlane final : public net::FaultInjector {
     return (static_cast<std::uint64_t>(node) << 16) | port;
   }
   void schedule_one(const FaultSpec& spec);
+  void notify_watchers(net::NodeId node, NodeEvent::Kind kind);
   net::NodeId resolve(const std::string& name) const;
   /// Sets the profile field selected by `kind` on both directions of the
   /// duplex link at (node, port).
@@ -169,6 +201,7 @@ class FaultPlane final : public net::FaultInjector {
   std::unordered_map<net::NodeId, std::uint64_t> down_epoch_;
   std::unordered_map<net::NodeId, std::function<void()>> crash_handlers_;
   std::unordered_map<net::NodeId, std::function<void()>> restart_handlers_;
+  std::vector<std::function<void(const NodeEvent&)>> watchers_;
 };
 
 }  // namespace steelnet::faults

@@ -1,0 +1,20 @@
+#include "orch/compute.hpp"
+
+#include <algorithm>
+
+namespace steelnet::orch {
+
+std::uint32_t cpu_demand_mcpu(sim::SimTime cycle, std::uint32_t mcpu_per_khz) {
+  if (cycle <= sim::SimTime::zero()) return mcpu_per_khz;
+  const double cycles_per_ms = 1e6 / static_cast<double>(cycle.nanos());
+  const auto demand =
+      static_cast<std::uint32_t>(cycles_per_ms * mcpu_per_khz);
+  return std::max(1u, demand);
+}
+
+void erase_vplc(std::vector<VplcId>& list, VplcId v) {
+  const auto it = std::find(list.begin(), list.end(), v);
+  if (it != list.end()) list.erase(it);
+}
+
+}  // namespace steelnet::orch

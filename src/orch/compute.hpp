@@ -1,0 +1,78 @@
+// steelnet::orch -- the compute-node model of the vPLC fleet layer.
+//
+// The paper moves PLCs into data centers; this module models what they
+// land on: racks of compute nodes with a finite CPU budget. Load is
+// accounted in millicores and derived from each vPLC's cycle time (a
+// 1 ms-cycle controller costs twice the CPU of a 2 ms one -- the control
+// loop runs twice as often), plus a fractional charge for every warm
+// InstaPLC twin parked on the node.
+//
+// ComputeNodeState is plain data: the Placer scores it, the FleetManager
+// mutates it, and everything iterates in node-index order so placement
+// traces are byte-identical for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace steelnet::orch {
+
+/// Fleet-level vPLC index (dense, assigned in spec order).
+using VplcId = std::uint32_t;
+/// Orchestrator-level compute-node index (dense, creation order). Maps to
+/// a net::NodeId only when the fleet is wired onto a simulated network.
+using ComputeId = std::uint32_t;
+
+inline constexpr std::uint32_t kNoRack = 0xffffffffu;
+
+/// Static description of one compute node.
+struct ComputeNodeSpec {
+  std::string name;
+  std::uint32_t rack = 0;            ///< failure-domain label
+  std::uint32_t capacity_mcpu = 4000;  ///< CPU budget, millicores
+};
+
+/// CPU demand of a vPLC with the given control cycle: a 1 ms cycle costs
+/// `mcpu_per_khz` millicores, scaling inversely with the cycle time (and
+/// clamping to 1 mcpu so even glacial controllers are accounted).
+[[nodiscard]] std::uint32_t cpu_demand_mcpu(sim::SimTime cycle,
+                                            std::uint32_t mcpu_per_khz = 200);
+
+/// Mutable per-node accounting the Placer scores and the FleetManager
+/// maintains.
+struct ComputeNodeState {
+  ComputeNodeSpec spec;
+  std::uint32_t used_mcpu = 0;
+  bool alive = true;
+  /// Refuses new placements (rolling upgrade drains).
+  bool draining = false;
+  /// Orchestrator-visible incarnation; bumped on every declared death and
+  /// rejoin so stale liveness verdicts never apply to a reborn node.
+  std::uint64_t incarnation = 0;
+
+  /// vPLC primaries / warm secondaries hosted here, in placement order
+  /// (the deterministic iteration order for storms and drains).
+  std::vector<VplcId> primaries;
+  std::vector<VplcId> secondaries;
+
+  [[nodiscard]] std::uint32_t free_mcpu() const {
+    return spec.capacity_mcpu > used_mcpu ? spec.capacity_mcpu - used_mcpu
+                                          : 0;
+  }
+  [[nodiscard]] double utilization() const {
+    return spec.capacity_mcpu == 0
+               ? 1.0
+               : static_cast<double>(used_mcpu) / spec.capacity_mcpu;
+  }
+  /// Eligible to receive new placements.
+  [[nodiscard]] bool placeable() const { return alive && !draining; }
+};
+
+/// Removes the first occurrence of `v` from `list` (placement lists are
+/// short and order-preserving removal keeps iteration deterministic).
+void erase_vplc(std::vector<VplcId>& list, VplcId v);
+
+}  // namespace steelnet::orch

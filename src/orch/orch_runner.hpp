@@ -1,0 +1,140 @@
+// steelnet::orch -- the fleet-scale orchestration testbed and sweep
+// harness.
+//
+// OrchRunner stands up a leaf-spine data center (one spine switch, one
+// ToR switch per rack, `nodes_per_rack` compute hosts behind each ToR,
+// the fleet manager host on its own spine port), places a vPLC fleet
+// drawn from named RNG streams, and runs one orchestration scenario to a
+// horizon:
+//
+//   * steady        -- no faults; heartbeats, warm twins, zero failovers;
+//   * rolling       -- drain/reboot every node with a grace period longer
+//                      than a handover, so the fleet upgrades with zero
+//                      control gaps (graceful handovers only);
+//   * rolling-aggressive -- grace shorter than a twin warm-up: stragglers
+//                      are rebooted out from under their vPLCs, producing
+//                      real, accounted failovers mid-upgrade;
+//   * rack-failure  -- `storm_nodes` hosts of one rack crash at the same
+//                      instant (correlated power/ToR failure); every
+//                      hosted primary fails over in one mass switchover
+//                      storm whose latency distribution vs the
+//                      (watchdog_heartbeats + 1) x heartbeat_period bound
+//                      is the experiment.
+//
+// Everything the invariant checks need comes back in an OrchOutcome:
+// the SLO ledger (residual must be 0), the switchover latency
+// distribution, the placement-trace and obs-export fingerprints (two
+// runs of the same config must collide exactly), and run_sweep fans
+// configurations across a core::SweepRunner pool with task-order
+// results, so aggregates are independent of --jobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sweep_runner.hpp"
+#include "orch/fleet.hpp"
+
+namespace steelnet::orch {
+
+enum class OrchScenario : std::uint8_t {
+  kSteady,
+  kRollingUpgrade,
+  kRollingAggressive,
+  kRackFailure,
+};
+
+[[nodiscard]] const char* to_string(OrchScenario s);
+
+struct OrchConfig {
+  std::uint64_t seed = 1;
+  OrchScenario scenario = OrchScenario::kSteady;
+  PolicyKind policy = PolicyKind::kLatencyAware;
+
+  // Topology / fleet shape.
+  std::uint32_t racks = 8;
+  std::uint32_t nodes_per_rack = 8;
+  std::uint32_t vplcs = 1024;
+  std::uint32_t node_capacity_mcpu = 8000;
+
+  sim::SimTime horizon = sim::seconds(2);
+  /// When the fault (storm / first drain) lands.
+  sim::SimTime fail_at = sim::milliseconds(500);
+  /// Rack-failure storm width: hosts of the victim rack crashed at
+  /// fail_at (clamped to nodes_per_rack).
+  std::uint32_t storm_nodes = 8;
+  /// Rack the storm hits; kNoRack (default) draws it from the
+  /// "orch/storm" stream. Pinning it makes policy ablations compare the
+  /// same blast radius.
+  std::uint32_t victim_rack = kNoRack;
+
+  FleetConfig fleet;
+
+  /// Attach an ObsHub and fingerprint the Prometheus export.
+  bool with_obs = true;
+  /// Keep full export/trace text in the outcome (byte-diff tests).
+  bool keep_exports = false;
+};
+
+/// A small, fast configuration for unit tests: 3 racks x 2 nodes,
+/// 12 vPLCs, 300 ms horizon.
+[[nodiscard]] OrchConfig small_orch_config(std::uint64_t seed);
+
+struct OrchOutcome {
+  std::string scenario;
+  std::string policy;
+  std::uint64_t seed = 0;
+
+  // Shape.
+  std::uint32_t compute_nodes = 0;
+  std::uint32_t racks = 0;
+  std::uint32_t vplcs_placed = 0;
+  /// Non-empty when initial placement failed (typed Placer error).
+  std::string place_error;
+
+  // Ledger + fleet behaviour.
+  FleetCounters fleet;
+  std::int64_t ledger_residual = 0;  ///< must be 0
+  std::uint64_t currently_down = 0;
+  std::uint64_t unprotected = 0;
+  double availability = 1.0;
+  double rack_local_fraction = 1.0;
+  double utilization_spread = 1.0;
+
+  // Switchover latency distribution (us) vs the watchdog bound.
+  std::uint64_t watchdog_bound_ns = 0;
+  std::uint64_t latency_count = 0;
+  double latency_mean_us = 0.0;
+  double latency_p50_us = 0.0;
+  double latency_p99_us = 0.0;
+  double latency_max_us = 0.0;
+
+  // Network-plane sanity (heartbeats really crossed switches).
+  std::uint64_t frames_delivered = 0;
+  std::int64_t conservation_residual = 0;  ///< frame ledger; must be 0
+
+  // Fingerprints (FNV-1a over exact bytes; 0 when not collected).
+  std::uint64_t trace_fp = 0;    ///< placement trace
+  std::uint64_t metrics_fp = 0;  ///< Prometheus export
+  std::string trace_text;        ///< only with keep_exports
+  std::string metrics_prom;      ///< only with keep_exports
+
+  /// One hash over every determinism-relevant field above -- two runs of
+  /// the same OrchConfig must collide exactly, at any --jobs.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+class OrchRunner {
+ public:
+  /// Builds a fresh testbed on this call's stack, runs `cfg` to its
+  /// horizon. Reentrant: concurrent run() calls share nothing.
+  [[nodiscard]] static OrchOutcome run(const OrchConfig& cfg);
+
+  /// Runs every config through a core::SweepRunner pool (`jobs` as
+  /// there; 1 = inline). Slots come back in config order.
+  [[nodiscard]] static std::vector<core::SweepSlot<OrchOutcome>> run_sweep(
+      const std::vector<OrchConfig>& cfgs, std::size_t jobs = 1);
+};
+
+}  // namespace steelnet::orch

@@ -392,5 +392,86 @@ TEST(FaultPlane, QuietPlaneDoesNotPerturbObsExports) {
   EXPECT_EQ(run(false), run(true));
 }
 
+// ---------------------------------------------------------------------
+// Incarnation epochs: overlapping crash/restart schedules across node
+// lifetimes.
+
+TEST(FaultPlane, StaleEpochRestartNeverResurrectsLaterKill) {
+  WireFixture fx;
+  const net::NodeId a = fx.a->id();
+
+  // Crash #1; an orchestrator schedules "bring it back at 20 ms" with the
+  // epoch it saw at crash time.
+  fx.simulator.schedule_at(sim::milliseconds(1),
+                           [&] { fx.plane.crash_node(a); });
+  std::uint64_t epoch_at_crash1 = 0;
+  fx.simulator.schedule_at(sim::milliseconds(2), [&] {
+    epoch_at_crash1 = fx.plane.incarnation(a);
+  });
+  bool stale_restart_happened = true;
+  fx.simulator.schedule_at(sim::milliseconds(20), [&] {
+    stale_restart_happened = fx.plane.restart_node_if(a, epoch_at_crash1);
+  });
+
+  // Meanwhile the node restarts and is killed AGAIN in a later epoch,
+  // both before the scheduled restart fires.
+  fx.simulator.schedule_at(sim::milliseconds(5),
+                           [&] { fx.plane.restart_node(a); });
+  fx.simulator.schedule_at(sim::milliseconds(10),
+                           [&] { fx.plane.crash_node(a); });
+
+  fx.simulator.run_until(sim::milliseconds(30));
+  // The stale restart must have been vetoed: the second kill wins.
+  EXPECT_FALSE(stale_restart_happened);
+  EXPECT_FALSE(fx.plane.node_alive(a));
+  EXPECT_TRUE(fx.plane.crashed_at(a).has_value());
+
+  // A restart keyed to the CURRENT epoch still works.
+  bool fresh_restart_happened = false;
+  fx.simulator.schedule_at(sim::milliseconds(40), [&] {
+    fresh_restart_happened =
+        fx.plane.restart_node_if(a, fx.plane.incarnation(a));
+  });
+  fx.simulator.run_until(sim::milliseconds(50));
+  EXPECT_TRUE(fresh_restart_happened);
+  EXPECT_TRUE(fx.plane.node_alive(a));
+}
+
+TEST(FaultPlane, NodeWatchersSeeEveryTransitionWithMonotonicEpochs) {
+  WireFixture fx;
+  const net::NodeId a = fx.a->id();
+
+  std::vector<NodeEvent> seen;
+  fx.plane.add_node_watcher([&](const NodeEvent& ev) {
+    if (ev.node == a) seen.push_back(ev);
+  });
+  std::vector<NodeEvent> seen_too;  // multi-subscriber: both get the feed
+  fx.plane.add_node_watcher([&](const NodeEvent& ev) {
+    if (ev.node == a) seen_too.push_back(ev);
+  });
+
+  fx.simulator.schedule_at(sim::milliseconds(1),
+                           [&] { fx.plane.crash_node(a); });
+  fx.simulator.schedule_at(sim::milliseconds(5),
+                           [&] { fx.plane.restart_node(a); });
+  fx.simulator.schedule_at(sim::milliseconds(9),
+                           [&] { fx.plane.stop_node(a); });
+  fx.simulator.run_until(sim::milliseconds(20));
+
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].kind, NodeEvent::Kind::kCrash);
+  EXPECT_EQ(seen[1].kind, NodeEvent::Kind::kRestart);
+  EXPECT_EQ(seen[2].kind, NodeEvent::Kind::kStop);
+  EXPECT_EQ(seen[0].at, sim::milliseconds(1));
+  EXPECT_EQ(seen[1].at, sim::milliseconds(5));
+  EXPECT_EQ(seen[2].at, sim::milliseconds(9));
+  // Every transition bumps the epoch; the last event carries the current.
+  EXPECT_LT(seen[0].epoch, seen[1].epoch);
+  EXPECT_LT(seen[1].epoch, seen[2].epoch);
+  EXPECT_EQ(seen[2].epoch, fx.plane.incarnation(a));
+  ASSERT_EQ(seen_too.size(), 3u);
+  EXPECT_EQ(seen_too[1].epoch, seen[1].epoch);
+}
+
 }  // namespace
 }  // namespace steelnet::faults
