@@ -260,8 +260,9 @@ void FleetManager::mark_node_down(ComputeId idx, sim::SimTime impact) {
   NodeRuntime& rt = runtime_[idx];
   rt.deadline.cancel();
   rt.hb_task.reset();
-  rt.queue.clear();   // queued activations die with the node; their vPLCs
-  rt.busy_slots = 0;  // are re-dispatched below via the secondaries list
+  rt.queue.clear();   // queued + in-flight activations die with the node;
+  rt.inflight.clear();  // their vPLCs are re-dispatched below via the
+  rt.busy_slots = 0;    // secondaries list
   if (n.spec.rack != kNoRack) ++rack_deaths_[n.spec.rack];
 
   const std::vector<VplcId> primaries = std::move(n.primaries);
@@ -305,6 +306,33 @@ void FleetManager::rejoin(ComputeId idx) {
     n.draining = false;
     ++n.incarnation;
     ++counters_.nodes_rejoined;
+  } else {
+    // Crash + restart inside the watchdog window: the node was never
+    // declared dead, but the crash still killed the agent and every
+    // in-flight or queued activation. Bump the incarnation so their
+    // stale completion (and warm-up) timers are void, then re-dispatch
+    // the lost activations on the fresh agent -- twin placements and
+    // reservations are unchanged, and the down-clock of any failing-over
+    // vPLC keeps running, so the blip honestly lengthens its gap.
+    n.draining = false;
+    ++n.incarnation;
+    rt.busy_slots = 0;
+    std::vector<PendingActivation> lost = std::move(rt.inflight);
+    rt.inflight.clear();
+    lost.insert(lost.end(), rt.queue.begin(), rt.queue.end());
+    rt.queue.clear();
+    for (const PendingActivation& act : lost) {
+      enqueue_activation(idx, act.vplc, act.kind, act.extra);
+    }
+    // Twins still warming here lost their half-shipped snapshot in the
+    // crash; restart the sync from scratch. (Fully warm twins keep their
+    // replicated state -- the same blip semantics that keep primaries.)
+    for (const VplcId v : n.secondaries) {
+      VplcState& s = vplcs_[v];
+      if (s.secondary == idx && !s.twin_warm && !s.activating) {
+        schedule_twin_warmup(v, idx);
+      }
+    }
   }
   ++rt.agent_incarnation;
   const auto cnt = static_cast<std::int64_t>(runtime_.size());
@@ -341,8 +369,26 @@ void FleetManager::failover(VplcId v, sim::SimTime impact) {
   }
 }
 
+void FleetManager::lose_twin(VplcId v) {
+  VplcState& s = vplcs_[v];
+  ++s.twin_generation;  // voids any warm-up still in flight for this twin
+  s.twin_warm = false;
+  if (!s.secondary.has_value()) return;
+  const ComputeId node = *s.secondary;
+  s.secondary.reset();
+  if (nodes_[node].alive) {
+    release(node, twin_idle_mcpu(s.demand_mcpu));
+    erase_vplc(nodes_[node].secondaries, v);
+  }
+}
+
 void FleetManager::cold_restart(VplcId v) {
   VplcState& s = vplcs_[v];
+  // A twin that is still placed but unusable (cold, mid-warm-up) is no
+  // help to a cold restart; release it first or its idle reservation and
+  // secondaries entry leak -- and a later death of that node would
+  // re-dispatch this vPLC a second time.
+  lose_twin(v);
   PlacementRequest req;
   req.vplc = v;
   req.demand_mcpu = s.demand_mcpu;  // full demand: it becomes the primary
@@ -386,14 +432,24 @@ void FleetManager::protect(VplcId v) {
   record_trace(v, 'S', node, started_ ? "reprotect" : "initial");
   // The twin is usable only once its state snapshot has shipped and
   // replayed; until then the vPLC is unprotected.
+  schedule_twin_warmup(v, node);
+}
+
+void FleetManager::schedule_twin_warmup(VplcId v, ComputeId node) {
+  VplcState& s = vplcs_[v];
+  // The generation pins the timer to THIS placement: if the twin is
+  // consumed or lost and a later twin lands on the same (still-alive,
+  // same-incarnation) node, the stale timer must not warm it early.
+  const std::uint64_t gen = ++s.twin_generation;
   sim_.schedule_in(twin_warmup(s.spec.twin_state_bytes),
-                   [this, v, node, inc = nodes_[node].incarnation] {
+                   [this, v, node, gen, inc = nodes_[node].incarnation] {
                      if (!nodes_[node].alive ||
                          nodes_[node].incarnation != inc) {
                        return;
                      }
                      VplcState& sv = vplcs_[v];
-                     if (sv.secondary == node && !sv.twin_warm) {
+                     if (sv.secondary == node && !sv.twin_warm &&
+                         sv.twin_generation == gen) {
                        sv.twin_warm = true;
                        ++counters_.twins_warmed;
                      }
@@ -419,6 +475,7 @@ void FleetManager::start_activation(ComputeId node,
                                     const PendingActivation& act) {
   NodeRuntime& rt = runtime_[node];
   ++rt.busy_slots;
+  rt.inflight.push_back(act);
   ++counters_.activations_run;
   sim_.schedule_in(cfg_.activation_cost + act.extra,
                    [this, node, inc = nodes_[node].incarnation, act] {
@@ -434,9 +491,16 @@ void FleetManager::on_activation_done(ComputeId node,
   NodeRuntime& rt = runtime_[node];
   // Completion is the target node's ack; a node the fault plane already
   // killed (but the watchdog has not yet declared) never acks. The vPLC
-  // stays `activating` until that node's own death re-dispatches it.
+  // stays `activating` (and the activation stays in `inflight`) until the
+  // node's declared death -- or a sub-watchdog restart -- re-dispatches it.
   if (plane_ != nullptr && !plane_->node_alive(rt.host->id())) return;
   if (rt.busy_slots > 0) --rt.busy_slots;
+  for (auto it = rt.inflight.begin(); it != rt.inflight.end(); ++it) {
+    if (it->vplc == act.vplc) {
+      rt.inflight.erase(it);
+      break;
+    }
+  }
   complete_switchover(act.vplc, node, act.kind, act.extra);
   while (rt.busy_slots < cfg_.activation_slots && !rt.queue.empty()) {
     const PendingActivation next = rt.queue.front();
@@ -593,8 +657,12 @@ sim::SimTime FleetManager::watchdog_bound() const {
 }
 
 sim::SimTime FleetManager::twin_warmup(std::uint32_t bytes) const {
+  // Per begun KiB, rounded up: a sub-KiB snapshot (the default 256 B)
+  // still ships one real unit instead of a truncated fraction.
+  const auto kib = static_cast<std::int64_t>(
+      (static_cast<std::uint64_t>(bytes) + 1023) / 1024);
   return sim::nanoseconds(cfg_.twin_warmup_base.nanos() +
-                          cfg_.twin_sync_per_kib.nanos() * bytes / 1024);
+                          cfg_.twin_sync_per_kib.nanos() * kib);
 }
 
 std::int64_t FleetManager::ledger_residual() const {

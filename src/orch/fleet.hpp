@@ -69,7 +69,8 @@ struct FleetConfig {
   sim::SimTime activation_cost = sim::microseconds(500);
   /// Concurrent activations one compute node can run; further ones queue.
   std::uint32_t activation_slots = 2;
-  /// Base warm-sync time of a fresh twin, plus per-KiB shipping cost.
+  /// Base warm-sync time of a fresh twin, plus per-KiB shipping cost
+  /// (charged per begun KiB: even a sub-KiB snapshot ships one unit).
   sim::SimTime twin_warmup_base = sim::milliseconds(20);
   sim::SimTime twin_sync_per_kib = sim::milliseconds(1);
   /// CPU a parked warm twin costs, as a fraction of the vPLC demand.
@@ -126,6 +127,10 @@ struct VplcState {
   std::optional<ComputeId> primary;
   std::optional<ComputeId> secondary;
   bool twin_warm = false;
+  /// Bumped on every twin placement or loss; a warm-up completion only
+  /// counts if the generation it was scheduled under is still current,
+  /// so a stale timer can never warm a later twin on the same node.
+  std::uint64_t twin_generation = 0;
   /// An activation (failover, cold restart or handover) is in flight.
   bool activating = false;
   /// Set while the primary is gone: when control was lost (last heartbeat
@@ -257,6 +262,10 @@ class FleetManager {
     sim::EventHandle deadline;
     std::uint32_t busy_slots = 0;
     std::deque<PendingActivation> queue;
+    /// Activations dispatched but not yet acked, in dispatch order. An
+    /// entry leaves on completion; a node death clears it; a sub-watchdog
+    /// crash+restart re-dispatches it (the crash killed the work).
+    std::vector<PendingActivation> inflight;
   };
 
   void send_heartbeat(ComputeId idx);
@@ -271,6 +280,9 @@ class FleetManager {
   void failover(VplcId v, sim::SimTime impact);
   void cold_restart(VplcId v);
   void protect(VplcId v);  ///< place + warm a fresh twin
+  void schedule_twin_warmup(VplcId v, ComputeId node);
+  /// Releases a still-placed twin (reservation + secondaries entry) and
+  /// voids any in-flight warm-up for it.
   void lose_twin(VplcId v);
   void set_down(VplcId v, sim::SimTime impact, std::uint32_t rack);
   void enqueue_activation(ComputeId node, VplcId v, ActKind kind,

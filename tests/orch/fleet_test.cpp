@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "faults/fault_plane.hpp"
 #include "net/switch_node.hpp"
 #include "net/topology.hpp"
@@ -56,6 +58,57 @@ struct FleetFixture {
   }
 };
 
+/// Settled-state cross-check of the placement books: every vPLC's
+/// primary/secondary pointer is mirrored by exactly one list entry on
+/// that node (no stale or duplicated entries), and each alive node's
+/// used_mcpu equals the sum of what its hosted vPLCs reserve. Only valid
+/// once no activation is in flight.
+void ExpectFleetBooksConsistent(const FleetManager& fleet) {
+  const auto& nodes = fleet.nodes();
+  const auto& vplcs = fleet.vplcs();
+  const FleetConfig& cfg = fleet.config();
+  const auto twin_idle = [&](std::uint32_t demand) {
+    return std::max(
+        1u, static_cast<std::uint32_t>(demand * cfg.twin_idle_fraction));
+  };
+  std::vector<std::uint32_t> want_mcpu(nodes.size(), 0);
+  std::size_t want_primaries = 0;
+  std::size_t want_secondaries = 0;
+  for (VplcId v = 0; v < vplcs.size(); ++v) {
+    const VplcState& s = vplcs[v];
+    ASSERT_FALSE(s.activating) << "vPLC " << v << " not settled";
+    if (s.primary.has_value()) {
+      ++want_primaries;
+      want_mcpu[*s.primary] += s.demand_mcpu;
+      EXPECT_EQ(std::count(nodes[*s.primary].primaries.begin(),
+                           nodes[*s.primary].primaries.end(), v),
+                1)
+          << "vPLC " << v << " primary list entry";
+    }
+    if (s.secondary.has_value()) {
+      ++want_secondaries;
+      want_mcpu[*s.secondary] += twin_idle(s.demand_mcpu);
+      EXPECT_EQ(std::count(nodes[*s.secondary].secondaries.begin(),
+                           nodes[*s.secondary].secondaries.end(), v),
+                1)
+          << "vPLC " << v << " secondary list entry";
+    }
+  }
+  std::size_t have_primaries = 0;
+  std::size_t have_secondaries = 0;
+  for (ComputeId i = 0; i < nodes.size(); ++i) {
+    have_primaries += nodes[i].primaries.size();
+    have_secondaries += nodes[i].secondaries.size();
+    if (nodes[i].alive) {
+      EXPECT_EQ(nodes[i].used_mcpu, want_mcpu[i])
+          << "node " << i << " CPU books";
+    }
+  }
+  // Any excess here is a stale entry some cleanup path failed to erase.
+  EXPECT_EQ(have_primaries, want_primaries);
+  EXPECT_EQ(have_secondaries, want_secondaries);
+}
+
 TEST(Fleet, HeartbeatCodecRoundTrips) {
   Heartbeat hb;
   hb.node = 17;
@@ -83,6 +136,14 @@ TEST(Fleet, WatchdogBoundAndWarmupFormulas) {
   FleetManager fleet(simulator, cfg);
   EXPECT_EQ(fleet.watchdog_bound(), 8_ms);
   EXPECT_EQ(fleet.twin_warmup(0), cfg.twin_warmup_base);
+  // Per begun KiB, rounded up: sub-KiB snapshots (incl. the 256 B
+  // default) are charged one full unit, never a truncated zero.
+  EXPECT_EQ(fleet.twin_warmup(1),
+            cfg.twin_warmup_base + cfg.twin_sync_per_kib);
+  EXPECT_EQ(fleet.twin_warmup(256),
+            cfg.twin_warmup_base + cfg.twin_sync_per_kib);
+  EXPECT_EQ(fleet.twin_warmup(1025),
+            cfg.twin_warmup_base + 2 * cfg.twin_sync_per_kib);
   EXPECT_EQ(fleet.twin_warmup(2048),
             cfg.twin_warmup_base + 2 * cfg.twin_sync_per_kib);
 }
@@ -175,6 +236,63 @@ TEST(Fleet, SilentButAliveNodeIsFenced) {
   EXPECT_FALSE(fx.plane.node_alive(fx.hosts[1]->id()));
   EXPECT_EQ(fx.fleet.currently_down(), 0u);
   EXPECT_EQ(fx.fleet.ledger_residual(), 0);
+}
+
+TEST(Fleet, ColdFailoverReleasesStaleTwinPlacement) {
+  FleetFixture fx(4, 2);
+  ASSERT_FALSE(fx.place(8).has_value());
+  fx.fleet.start();
+  // Kill a rack-1 node first: its hosted twins re-protect onto the other
+  // rack-1 node and start a ~21 ms warm-up. Then kill a rack-0 node in
+  // the middle of that window: vPLCs whose replacement twin is still
+  // syncing must fail over COLD, and the not-yet-warm twin placement
+  // (idle reservation + secondaries entry) must be fully released --
+  // leaking it double-books the node and re-dispatches the vPLC a second
+  // time if that node later dies.
+  fx.simulator.schedule_at(51_ms,
+                           [&] { fx.plane.crash_node(fx.hosts[1]->id()); });
+  fx.simulator.schedule_at(62_ms,
+                           [&] { fx.plane.crash_node(fx.hosts[0]->id()); });
+  fx.simulator.run_until(400_ms);
+  const auto& c = fx.fleet.counters();
+  ASSERT_GT(c.cold_restarts, 0u) << "scenario must exercise the cold path";
+  EXPECT_EQ(c.nodes_declared_dead, 2u);
+  EXPECT_EQ(fx.fleet.currently_down(), 0u);
+  EXPECT_EQ(fx.fleet.ledger_residual(), 0);
+  EXPECT_EQ(c.switchovers, c.failovers_started);
+  EXPECT_EQ(c.switchovers, c.switchovers_within_bound + c.slo_violations);
+  ExpectFleetBooksConsistent(fx.fleet);
+}
+
+TEST(Fleet, SubWatchdogBlipOnActivationTargetDoesNotStrandVplcs) {
+  FleetFixture fx(4, 2);
+  ASSERT_FALSE(fx.place(16).has_value());
+  fx.fleet.start();
+  // Crash a rack-0 node; ~6 ms later the watchdog declares it dead and
+  // failover activations (500 us each, 2 slots) start on the rack-1 twin
+  // nodes. Crash one activation target mid-flight and restart it BEFORE
+  // its own watchdog deadline: the manager never declares it dead, so
+  // only the rejoin path can reclaim the node's activation slots and
+  // re-dispatch the in-flight + queued work the crash killed. Without
+  // that, those vPLCs stay activating/down forever.
+  fx.simulator.schedule_at(51_ms,
+                           [&] { fx.plane.crash_node(fx.hosts[0]->id()); });
+  fx.simulator.schedule_at(51_ms + 5200_us,
+                           [&] { fx.plane.crash_node(fx.hosts[1]->id()); });
+  fx.simulator.schedule_at(58_ms,
+                           [&] { fx.plane.restart_node(fx.hosts[1]->id()); });
+  fx.simulator.run_until(300_ms);
+  const auto& c = fx.fleet.counters();
+  EXPECT_EQ(c.nodes_declared_dead, 1u) << "the blip must stay undetected";
+  EXPECT_EQ(c.nodes_rejoined, 0u);
+  // Re-dispatched activations run again: more runs than completions.
+  EXPECT_GT(c.activations_run, c.switchovers)
+      << "scenario must catch activations in flight on the blipped node";
+  EXPECT_EQ(fx.fleet.currently_down(), 0u);
+  EXPECT_EQ(fx.fleet.ledger_residual(), 0);
+  EXPECT_EQ(c.switchovers, c.failovers_started);
+  EXPECT_EQ(c.switchovers, c.switchovers_within_bound + c.slo_violations);
+  ExpectFleetBooksConsistent(fx.fleet);
 }
 
 TEST(Fleet, RestartedNodeRejoinsAndHeartbeatsResume) {
