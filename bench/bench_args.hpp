@@ -11,6 +11,10 @@
 //   --jobs <n>       worker threads for independent sweep runs (default:
 //                    hardware concurrency; --jobs 1 is the sequential
 //                    loop). Output is byte-identical at any job count.
+//   --scale <n>      where supported: size ceiling of a scaling curve
+//                    (e.g. tab_flowmon's max live-flow count)
+//   --bench-json <f> where supported: write the scaling curve as a JSON
+//                    benchmark artifact
 // plus --help. Binaries without an obs wiring still accept --trace and
 // --metrics but warn on stderr that nothing will be produced.
 #pragma once
@@ -35,6 +39,12 @@ struct BenchArgs {
   /// --jobs <n>: worker threads for independent runs (core::SweepRunner
   /// semantics: 0 means hardware concurrency, 1 the sequential loop).
   std::size_t jobs = 0;
+  /// --scale <n>: where supported, the size ceiling of a scaling curve
+  /// (e.g. tab_flowmon's max live-flow count); 0 = binary default.
+  std::uint64_t scale = 0;
+  /// --bench-json <file>: where supported, write a google-benchmark-style
+  /// JSON artifact of the scaling curve.
+  std::optional<std::string> bench_json_path;
 
   /// Parses argv; exits on --help (0) and on malformed/unknown flags (2).
   static BenchArgs parse(int argc, char** argv,
@@ -70,10 +80,17 @@ struct BenchArgs {
             static_cast<std::size_t>(std::strtoull(need_value(i, a),
                                                    nullptr, 0));
         ++i;
+      } else if (a == "--scale") {
+        args.scale = std::strtoull(need_value(i, a), nullptr, 0);
+        ++i;
+      } else if (a == "--bench-json") {
+        args.bench_json_path = need_value(i, a);
+        ++i;
       } else if (a == "--help" || a == "-h") {
         std::cout << "usage: " << prog
                   << " [--seed <n>] [--csv] [--trace <file>]"
-                     " [--metrics <file>] [--sweep <n>] [--jobs <n>]\n";
+                     " [--metrics <file>] [--sweep <n>] [--jobs <n>]"
+                     " [--scale <n>] [--bench-json <file>]\n";
         std::exit(0);
       } else {
         std::cerr << prog << ": unknown argument '" << a

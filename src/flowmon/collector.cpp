@@ -2,12 +2,38 @@
 
 #include <algorithm>
 
+#include "net/network.hpp"
 #include "obs/hub.hpp"
 
 namespace steelnet::flowmon {
 
 CollectorNode::CollectorNode(net::MacAddress mac, PeriodicityConfig cfg)
     : mac_(mac), cfg_(cfg) {}
+
+void CollectorNode::account_sequence(std::uint64_t session,
+                                     std::uint32_t domain,
+                                     std::uint32_t sequence,
+                                     std::uint32_t n_records) {
+  // RFC 7011 sequence accounting with serial-number arithmetic: the
+  // header carries the count of data records sent before this message on
+  // this (exporter session, domain) stream, modulo 2^32. A forward gap
+  // (< 2^31) means lost records; a backward step is a late or replayed
+  // message and must not be charged as loss. Exporters start at 0, so
+  // even the first message from a new stream reveals records lost before
+  // first contact.
+  const auto stream = std::make_pair(session, domain);
+  const auto it = next_sequence_.find(stream);
+  const std::uint32_t expected = it != next_sequence_.end() ? it->second : 0;
+  const std::uint32_t gap = sequence - expected;  // wraps mod 2^32
+  if (gap == 0) {
+    next_sequence_[stream] = sequence + n_records;
+  } else if (gap < 0x8000'0000u) {
+    counters_.lost_records += gap;
+    next_sequence_[stream] = sequence + n_records;  // resync forward
+  } else {
+    ++counters_.sequence_reordered;  // stale message; keep expectation
+  }
+}
 
 void CollectorNode::handle_frame(net::Frame frame, net::PortId in_port) {
   observe_frame(frame, in_port);
@@ -17,7 +43,10 @@ void CollectorNode::handle_frame(net::Frame frame, net::PortId in_port) {
     ++counters_.frames_filtered;
     return;
   }
-  const auto msg = decode_message(frame.payload, templates_);
+  // Templates and sequence streams are scoped by exporter session; two
+  // exporters sharing a domain number can no longer clobber each other.
+  const std::uint64_t session = frame.src.bits();
+  const auto msg = decode_message(frame.payload, templates_, session);
   if (!msg.has_value()) {
     ++counters_.malformed;
     return;
@@ -25,22 +54,20 @@ void CollectorNode::handle_frame(net::Frame frame, net::PortId in_port) {
   ++counters_.messages;
   counters_.templates_learned += msg->templates_learned;
   counters_.records_without_template += msg->records_without_template;
+  account_sequence(session, msg->header.observation_domain,
+                   msg->header.sequence,
+                   static_cast<std::uint32_t>(msg->records.size()));
 
-  // IPFIX sequence accounting: the header carries the count of data
-  // records sent before this message, so a jump means lost records.
-  // Exporters start at sequence 0, so even the first message from a new
-  // observation domain reveals records lost before first contact.
-  const auto domain = msg->header.observation_domain;
-  const auto it = next_sequence_.find(domain);
-  const std::uint32_t expected = it != next_sequence_.end() ? it->second : 0;
-  if (msg->header.sequence > expected) {
-    counters_.lost_records += msg->header.sequence - expected;
-  }
-  next_sequence_[domain] =
-      msg->header.sequence + static_cast<std::uint32_t>(msg->records.size());
-
+  const bool timed = attached();
+  const sim::SimTime now = timed ? network().sim().now() : sim::SimTime{};
   for (const ExportRecord& r : msg->records) {
     ++counters_.records;
+    if (timed) {
+      const double lag_us =
+          static_cast<double>((now - r.last_seen).nanos()) / 1000.0;
+      export_lag_us_.add(lag_us);
+      if (lag_hist_ != nullptr) lag_hist_->add(lag_us);
+    }
     absorb(r);
   }
 }
@@ -67,6 +94,14 @@ void CollectorNode::absorb(const ExportRecord& r) {
     a.jitter = r.jitter;
   }
 
+  if (reexport_enabled_) {
+    if (compiled_.keep(r)) {
+      pending_.push_back(r);
+    } else {
+      ++counters_.transform_dropped;
+    }
+  }
+
   // Records carry absolute totals since their incarnation began, so a
   // checkpoint overwrites the live record; a closing record folds the
   // incarnation into the finished totals.
@@ -84,6 +119,53 @@ void CollectorNode::absorb(const ExportRecord& r) {
   // A forced flush means the observation window closed on a still-running
   // flow -- that is precisely an open-ended flow.
   a.ended = r.end_reason != EndReason::kForcedEnd;
+}
+
+void CollectorNode::enable_reexport(net::HostNode& uplink, ReExportConfig cfg) {
+  uplink_ = &uplink;
+  recfg_ = std::move(cfg);
+  compiled_ = CompiledTransform{recfg_.rules, flow_template()};
+  reexport_enabled_ = true;
+  if (attached()) {
+    sim::Simulator& sim = network().sim();
+    reexport_task_ = std::make_unique<sim::PeriodicTask>(
+        sim, sim.now() + recfg_.interval, recfg_.interval,
+        [this] { flush_reexport(); });
+  }
+}
+
+void CollectorNode::flush_reexport() {
+  if (!reexport_enabled_ || pending_.empty()) return;
+  const sim::SimTime now =
+      attached() ? network().sim().now() : sim::SimTime{};
+  for (std::size_t off = 0; off < pending_.size();
+       off += recfg_.max_records_per_frame) {
+    const std::size_t n =
+        std::min(recfg_.max_records_per_frame, pending_.size() - off);
+    const std::vector<ExportRecord> chunk(pending_.begin() + off,
+                                          pending_.begin() + off + n);
+    const bool with_template = frames_since_template_ == 0;
+    if (++frames_since_template_ >= recfg_.template_refresh_frames) {
+      frames_since_template_ = 0;
+    }
+
+    MessageHeader header;
+    header.observation_domain =
+        compiled_.domain_or(recfg_.observation_domain);
+    header.sequence = reexport_sequence_;
+    header.export_time = now;
+    reexport_sequence_ += static_cast<std::uint32_t>(n);
+
+    net::Frame frame;
+    frame.dst = recfg_.upstream_mac;
+    frame.ethertype = net::EtherType::kFlowmonExport;
+    frame.pcp = recfg_.pcp;
+    frame.payload = encode_transformed(header, compiled_, with_template, chunk);
+    uplink_->send(std::move(frame));
+    ++counters_.reexport_frames;
+    counters_.reexported_records += n;
+  }
+  pending_.clear();
 }
 
 FlowView CollectorNode::view_of(const FlowKey& key,
@@ -172,6 +254,20 @@ void CollectorNode::register_metrics(obs::ObsHub& hub) const {
                    &counters_.records_without_template);
   reg.bind_counter({node, "flowmon", "lost_records"},
                    &counters_.lost_records);
+  reg.bind_counter({node, "flowmon", "sequence_reordered"},
+                   &counters_.sequence_reordered);
+  reg.bind_counter({node, "flowmon", "transform_dropped"},
+                   &counters_.transform_dropped);
+  reg.bind_counter({node, "flowmon", "reexported_records"},
+                   &counters_.reexported_records);
+  reg.bind_counter({node, "flowmon", "reexport_frames"},
+                   &counters_.reexport_frames);
+  reg.bind_gauge({node, "flowmon", "tracked_flows"},
+                 [this] { return static_cast<double>(flows_.size()); });
+  reg.bind_gauge({node, "flowmon", "pending_reexport"},
+                 [this] { return static_cast<double>(pending_.size()); });
+  lag_hist_ = &reg.make_histogram({node, "flowmon", "export_lag_us"}, 0.0,
+                                  1'000'000.0, 200);
 }
 
 }  // namespace steelnet::flowmon

@@ -9,16 +9,28 @@
 //     (active-timeout checkpoint or forced flush), and
 //   * periodic    if its cadence is steady: enough packets and measured
 //     jitter below a fraction of the mean inter-arrival time.
+//
+// Collectors federate: a cell-tier collector can re-export everything it
+// absorbs upward to a plant-tier collector over the simulated network
+// (enable_reexport), applying declarative mediation rules in between --
+// the IPFIX mediator role of RFC 6183, with transform_rules.c lineage.
+// Sequence accounting is per (exporter session, observation domain)
+// stream with RFC 7011 serial-number arithmetic, so 32-bit wraparound
+// and multi-exporter domains are handled correctly.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "core/traffic_mix.hpp"
-#include "flowmon/ipfix.hpp"
+#include "flowmon/transform.hpp"
+#include "net/host_node.hpp"
 #include "net/node.hpp"
 #include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
 
 namespace steelnet::obs {
 class ObsHub;
@@ -44,8 +56,28 @@ struct CollectorCounters {
   /// Loss/sequence counters live on the obs metrics plane (obs::Counter
   /// converts implicitly to uint64_t, so accessors are unchanged).
   obs::Counter records_without_template;
-  /// Gaps detected via IPFIX sequence numbers (per observation domain).
+  /// Records lost upstream, from IPFIX sequence gaps (serial arithmetic
+  /// per exporter-session/domain stream).
   obs::Counter lost_records;
+  /// Messages whose sequence stepped backwards (late or replayed).
+  obs::Counter sequence_reordered;
+  /// Records the mediation filter refused to re-export.
+  obs::Counter transform_dropped;
+  /// Records re-exported to the upstream tier.
+  obs::Counter reexported_records;
+  obs::Counter reexport_frames;
+};
+
+/// Mediation settings for the upstream hop of a federated collector.
+struct ReExportConfig {
+  net::MacAddress upstream_mac;
+  /// Our exporting-process domain (rules.rewrite_domain overrides).
+  std::uint32_t observation_domain = 100;
+  sim::SimTime interval = sim::milliseconds(100);
+  std::size_t max_records_per_frame = 16;
+  std::uint32_t template_refresh_frames = 16;
+  std::uint8_t pcp = 0;
+  TransformRules rules;
 };
 
 /// Merged view of one measured flow, across export checkpoints and
@@ -78,9 +110,31 @@ class CollectorNode : public net::Node {
 
   void handle_frame(net::Frame frame, net::PortId in_port) override;
 
+  /// Turns this collector into a mediator: everything absorbed from the
+  /// meters below is queued and periodically re-exported -- through
+  /// `cfg.rules` -- via `uplink` (the collector's management NIC, which
+  /// must already be attached to the same network) toward
+  /// `cfg.upstream_mac`. Call after the node is attached.
+  void enable_reexport(net::HostNode& uplink, ReExportConfig cfg);
+
+  /// Drains the pending re-export queue now (also runs periodically).
+  /// Call once after the last meter flush to push the tail upstream.
+  void flush_reexport();
+
   [[nodiscard]] net::MacAddress mac() const { return mac_; }
   [[nodiscard]] const CollectorCounters& counters() const {
     return counters_;
+  }
+  /// Per-record staleness on arrival (now - record.last_seen) in
+  /// microseconds: batching + transport + detection delay. At the plant
+  /// tier this includes the extra federation hop, so the tier delta
+  /// isolates the hop's cost.
+  [[nodiscard]] const sim::SampleSet& export_lag_us() const {
+    return export_lag_us_;
+  }
+  [[nodiscard]] std::size_t tracked_flows() const { return flows_.size(); }
+  [[nodiscard]] std::size_t pending_reexport() const {
+    return pending_.size();
   }
 
   /// All measured flows, merged, sorted by key (deterministic).
@@ -94,7 +148,8 @@ class CollectorNode : public net::Node {
   /// identical seeds must yield identical measured flow records.
   [[nodiscard]] std::uint64_t fingerprint() const;
 
-  /// Binds pipeline counters under `<name>/flowmon/...`.
+  /// Binds pipeline counters, occupancy gauges and the export-lag
+  /// histogram under `<name>/flowmon/...`.
   void register_metrics(obs::ObsHub& hub) const;
 
  private:
@@ -119,6 +174,8 @@ class CollectorNode : public net::Node {
   };
 
   void absorb(const ExportRecord& r);
+  void account_sequence(std::uint64_t session, std::uint32_t domain,
+                        std::uint32_t sequence, std::uint32_t n_records);
   [[nodiscard]] FlowView view_of(const FlowKey& key,
                                  const FlowAccum& a) const;
 
@@ -126,8 +183,22 @@ class CollectorNode : public net::Node {
   PeriodicityConfig cfg_;
   TemplateStore templates_;
   std::map<FlowKey, FlowAccum> flows_;
-  std::map<std::uint32_t, std::uint32_t> next_sequence_;  ///< per domain
+  /// Expected next sequence per (exporter session, observation domain).
+  std::map<std::pair<std::uint64_t, std::uint32_t>, std::uint32_t>
+      next_sequence_;
   CollectorCounters counters_;
+  sim::SampleSet export_lag_us_;
+  mutable sim::Histogram* lag_hist_ = nullptr;  ///< registry-owned
+
+  // Mediator state (enable_reexport).
+  bool reexport_enabled_ = false;
+  net::HostNode* uplink_ = nullptr;
+  ReExportConfig recfg_;
+  CompiledTransform compiled_;
+  std::vector<ExportRecord> pending_;
+  std::uint32_t reexport_sequence_ = 0;
+  std::uint32_t frames_since_template_ = 0;
+  std::unique_ptr<sim::PeriodicTask> reexport_task_;
 };
 
 }  // namespace steelnet::flowmon

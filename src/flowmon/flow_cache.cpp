@@ -1,5 +1,7 @@
 #include "flowmon/flow_cache.hpp"
 
+#include <algorithm>
+
 namespace steelnet::flowmon {
 
 namespace {
@@ -13,8 +15,18 @@ std::size_t round_up_pow2(std::size_t n) {
 }  // namespace
 
 FlowCache::FlowCache(std::size_t capacity)
-    : slots_(round_up_pow2(capacity)),
-      load_cap_(slots_.size() / 4 * 3) {}
+    : FlowCache([capacity] {
+        FlowCacheConfig cfg;
+        cfg.capacity = capacity;
+        cfg.engine = ExpiryEngine::kScan;  // legacy behaviour: no timers
+        return cfg;
+      }()) {}
+
+FlowCache::FlowCache(const FlowCacheConfig& cfg)
+    : cfg_(cfg),
+      slots_(round_up_pow2(cfg.capacity)),
+      load_cap_(slots_.size() / 4 * 3),
+      wheel_(cfg.wheel_tick) {}
 
 std::size_t FlowCache::probe(const FlowKey& key) const {
   std::size_t i = home(key);
@@ -37,6 +49,12 @@ const FlowRecord* FlowCache::find(const FlowKey& key) const {
   return const_cast<FlowCache*>(this)->find(key);
 }
 
+sim::SimTime FlowCache::deadline_of(const FlowRecord& r) const {
+  const sim::SimTime idle = r.last_seen + cfg_.idle_timeout;
+  const sim::SimTime active = r.last_export + cfg_.active_timeout;
+  return idle < active ? idle : active;
+}
+
 FlowRecord* FlowCache::record(const net::Frame& frame, sim::SimTime now) {
   const FlowKey key = FlowKey::of(frame);
   ++stats_.lookups;
@@ -54,6 +72,11 @@ FlowRecord* FlowCache::record(const net::Frame& frame, sim::SimTime now) {
     slot.record.key = key;
     slot.record.first_seen = now;
     slot.record.last_export = now;
+    slot.record.last_seen = now;
+    if (cfg_.engine == ExpiryEngine::kWheel) {
+      // One deadline per flow; activity is picked up lazily at fire time.
+      slot.timer = wheel_.arm(deadline_of(slot.record), i);
+    }
   } else {
     ++stats_.hits;
     FlowRecord& r = slot.record;
@@ -81,8 +104,13 @@ bool FlowCache::erase(const FlowKey& key) {
   if (!slots_[i].used) return false;
   ++stats_.erased;
   --size_;
+  if (slots_[i].timer != sim::TimerWheel::kInvalidTimer) {
+    wheel_.cancel(slots_[i].timer);
+    slots_[i].timer = sim::TimerWheel::kInvalidTimer;
+  }
   // Backward-shift compaction: close the hole by moving every following
-  // cluster member whose home slot lies at or before the hole.
+  // cluster member whose home slot lies at or before the hole. Moved
+  // records drag their wheel timer along via cookie rebinding.
   std::size_t hole = i;
   std::size_t j = (i + 1) & mask();
   while (slots_[j].used) {
@@ -92,12 +120,121 @@ bool FlowCache::erase(const FlowKey& key) {
     const bool movable = wraps ? (h <= hole && h > j) : (h <= hole || h > j);
     if (movable) {
       slots_[hole].record = slots_[j].record;
+      slots_[hole].timer = slots_[j].timer;
+      if (slots_[hole].timer != sim::TimerWheel::kInvalidTimer) {
+        wheel_.set_cookie(slots_[hole].timer, hole);
+      }
+      slots_[j].timer = sim::TimerWheel::kInvalidTimer;
       hole = j;
     }
     j = (j + 1) & mask();
   }
   slots_[hole].used = false;
+  slots_[hole].timer = sim::TimerWheel::kInvalidTimer;
   return true;
+}
+
+void FlowCache::emit_candidates(sim::SimTime now, const ExportFn& fn) {
+  // Canonical export order: (first_seen, FlowKey) -- independent of slot
+  // layout and of which engine nominated the candidates, so wheel and
+  // scan produce byte-identical export streams.
+  std::sort(candidates_.begin(), candidates_.end(),
+            [this](const auto& a, const auto& b) {
+              const FlowRecord& ra = slots_[a.first].record;
+              const FlowRecord& rb = slots_[b.first].record;
+              if (!(ra.first_seen == rb.first_seen)) {
+                return ra.first_seen < rb.first_seen;
+              }
+              return ra.key < rb.key;
+            });
+  evict_.clear();
+  for (const auto& [idx, reason] : candidates_) {
+    Slot& slot = slots_[idx];
+    fn(slot.record, reason);
+    if (reason == EndReason::kIdleTimeout) {
+      evict_.push_back(slot.record.key);
+    } else {
+      slot.record.last_export = now;
+      if (cfg_.engine == ExpiryEngine::kWheel &&
+          slot.timer == sim::TimerWheel::kInvalidTimer) {
+        slot.timer = wheel_.arm(deadline_of(slot.record), idx);
+      }
+    }
+  }
+  for (const FlowKey& key : evict_) erase(key);
+}
+
+std::size_t FlowCache::sweep(sim::SimTime now, const ExportFn& fn) {
+  candidates_.clear();
+  if (cfg_.engine == ExpiryEngine::kScan) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const Slot& slot = slots_[i];
+      if (!slot.used) continue;
+      const FlowRecord& r = slot.record;
+      if (now - r.last_seen >= cfg_.idle_timeout) {
+        candidates_.emplace_back(static_cast<std::uint32_t>(i),
+                                 EndReason::kIdleTimeout);
+      } else if (now - r.last_export >= cfg_.active_timeout) {
+        candidates_.emplace_back(static_cast<std::uint32_t>(i),
+                                 EndReason::kActiveTimeout);
+      }
+    }
+  } else {
+    due_.clear();
+    wheel_.advance(now, due_);
+    for (const std::uint64_t cookie : due_) {
+      const auto i = static_cast<std::uint32_t>(cookie);
+      Slot& slot = slots_[i];
+      if (!slot.used) continue;  // defensive: cancelled on erase
+      slot.timer = sim::TimerWheel::kInvalidTimer;
+      ++stats_.wheel_fires;
+      const FlowRecord& r = slot.record;
+      if (now - r.last_seen >= cfg_.idle_timeout) {
+        candidates_.emplace_back(i, EndReason::kIdleTimeout);
+      } else if (now - r.last_export >= cfg_.active_timeout) {
+        candidates_.emplace_back(i, EndReason::kActiveTimeout);
+      } else {
+        // Fired early (tick rounding) or the flow saw traffic since the
+        // deadline was computed: re-arm at the true deadline.
+        slot.timer = wheel_.arm(deadline_of(r), i);
+        ++stats_.wheel_rearms;
+      }
+    }
+  }
+  const std::size_t n = candidates_.size();
+  emit_candidates(now, fn);
+  return n;
+}
+
+std::size_t FlowCache::flush(const ExportFn& fn) {
+  candidates_.clear();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].used) {
+      candidates_.emplace_back(static_cast<std::uint32_t>(i),
+                               EndReason::kForcedEnd);
+    }
+  }
+  // Emit in canonical order, then drop everything wholesale (no
+  // per-record compaction needed when the table empties).
+  std::sort(candidates_.begin(), candidates_.end(),
+            [this](const auto& a, const auto& b) {
+              const FlowRecord& ra = slots_[a.first].record;
+              const FlowRecord& rb = slots_[b.first].record;
+              if (!(ra.first_seen == rb.first_seen)) {
+                return ra.first_seen < rb.first_seen;
+              }
+              return ra.key < rb.key;
+            });
+  for (const auto& [idx, reason] : candidates_) {
+    fn(slots_[idx].record, reason);
+    slots_[idx].used = false;
+    slots_[idx].timer = sim::TimerWheel::kInvalidTimer;
+  }
+  const std::size_t n = candidates_.size();
+  stats_.erased += size_;
+  size_ = 0;
+  wheel_.clear();
+  return n;
 }
 
 }  // namespace steelnet::flowmon

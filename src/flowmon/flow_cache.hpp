@@ -4,17 +4,39 @@
 // after the find-or-create flow caches of software IPFIX meters
 // (ipfix-wrt/Vermont lineage): the per-packet hot path is one hash, a
 // short probe run, and a handful of counter updates. Expiry (active /
-// idle timeout) is swept from outside by the MeterPoint's timer event so
-// the cache itself stays simulation-agnostic and benchmarkable.
+// idle timeout) runs through sweep(), driven by one of two engines:
+//
+//   kScan  -- the legacy full-table walk, O(capacity) per sweep;
+//   kWheel -- a hierarchical timing wheel (sim::TimerWheel) holding one
+//             deadline per flow, O(1) amortized per expiry, so a plant
+//             tier can hold millions of live flows without scans.
+//
+// Both engines yield *identical* export streams at the same sweep times:
+// expired candidates are emitted in the canonical (first_seen, FlowKey)
+// order, and wheel timers fire on the rounded-down tick -- never late --
+// with the true deadline lazily re-checked and re-armed. The wheel's
+// equivalence guarantee needs consecutive sweeps at least one wheel tick
+// apart (MeterPoint clamps the tick to its export interval).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "flowmon/flow_key.hpp"
 #include "sim/time.hpp"
+#include "sim/timer_wheel.hpp"
 
 namespace steelnet::flowmon {
+
+/// Why a record was exported (values follow IPFIX flowEndReason).
+enum class EndReason : std::uint8_t {
+  kIdleTimeout = 0x01,   ///< flow went silent; record evicted
+  kActiveTimeout = 0x02, ///< long-lived flow checkpoint; flow still live
+  kEndOfFlow = 0x03,     ///< protocol-level end (unused by the L2 meter)
+  kForcedEnd = 0x04,     ///< meter flushed (end of observation)
+  kLackOfResources = 0x05,
+};
 
 /// Per-flow counters and cadence statistics, as measured at the tap.
 struct FlowRecord {
@@ -65,16 +87,33 @@ struct FlowCacheStats {
   std::uint64_t erased = 0;
   std::uint64_t probes = 0;         ///< total probe steps beyond the home slot
   std::uint64_t dropped_full = 0;   ///< new flows refused: table at load cap
+  std::uint64_t wheel_fires = 0;    ///< wheel timers that fired
+  std::uint64_t wheel_rearms = 0;   ///< early fires re-armed (lazy deadline)
+};
+
+/// Which expiry engine drives FlowCache::sweep.
+enum class ExpiryEngine : std::uint8_t { kScan, kWheel };
+
+struct FlowCacheConfig {
+  std::size_t capacity = 4096;
+  sim::SimTime idle_timeout = sim::milliseconds(500);
+  sim::SimTime active_timeout = sim::seconds(1);
+  ExpiryEngine engine = ExpiryEngine::kWheel;
+  /// Wheel granularity; sweeps closer together than this fall back to the
+  /// next tick, so keep it <= the sweep cadence (MeterPoint enforces).
+  sim::SimTime wheel_tick = sim::milliseconds(100);
 };
 
 /// Fixed-capacity open-addressing flow table. Capacity rounds up to a
 /// power of two; the load factor is capped at 3/4 so probe runs stay
 /// short. Deletion uses backward-shift compaction (no tombstones), which
 /// keeps lookup cost stable under the meter's continuous expire/insert
-/// churn.
+/// churn; wheel timers ride along via cookie rebinding.
 class FlowCache {
  public:
+  /// Legacy knob-free form: scan engine, default timeouts.
   explicit FlowCache(std::size_t capacity = 4096);
+  explicit FlowCache(const FlowCacheConfig& cfg);
 
   /// Hot path: account one frame to its flow, creating the record if the
   /// flow is new. Returns nullptr (and counts dropped_full) if the flow is
@@ -86,6 +125,18 @@ class FlowCache {
 
   /// Removes a flow; returns true if it existed.
   bool erase(const FlowKey& key);
+
+  using ExportFn = std::function<void(const FlowRecord&, EndReason)>;
+
+  /// Expires flows due at `now`: emits kIdleTimeout records (then evicts
+  /// them) and kActiveTimeout checkpoints (flow stays live, last_export
+  /// advances) in canonical (first_seen, FlowKey) order -- identical for
+  /// both engines at the same sweep times. Returns records emitted.
+  std::size_t sweep(sim::SimTime now, const ExportFn& fn);
+
+  /// Emits every live flow as kForcedEnd in canonical order and empties
+  /// the cache. Returns records emitted.
+  std::size_t flush(const ExportFn& fn);
 
   /// Visits every live record in slot order (a deterministic function of
   /// the insert/erase history). `fn` must not mutate the table.
@@ -107,11 +158,14 @@ class FlowCache {
   /// Max live flows before new ones are refused (3/4 of capacity).
   [[nodiscard]] std::size_t load_cap() const { return load_cap_; }
   [[nodiscard]] const FlowCacheStats& stats() const { return stats_; }
+  [[nodiscard]] const FlowCacheConfig& config() const { return cfg_; }
+  [[nodiscard]] ExpiryEngine engine() const { return cfg_.engine; }
 
  private:
   struct Slot {
     FlowRecord record;
     bool used = false;
+    sim::TimerWheel::TimerId timer = sim::TimerWheel::kInvalidTimer;
   };
 
   [[nodiscard]] std::size_t mask() const { return slots_.size() - 1; }
@@ -121,11 +175,20 @@ class FlowCache {
   /// Index of the slot holding `key`, or of the first free slot in its
   /// probe run.
   [[nodiscard]] std::size_t probe(const FlowKey& key) const;
+  /// Earliest of the record's idle and active deadlines.
+  [[nodiscard]] sim::SimTime deadline_of(const FlowRecord& r) const;
+  void emit_candidates(sim::SimTime now, const ExportFn& fn);
 
+  FlowCacheConfig cfg_;
   std::vector<Slot> slots_;
   std::size_t size_ = 0;
   std::size_t load_cap_;
   mutable FlowCacheStats stats_;
+  sim::TimerWheel wheel_;
+  // Sweep scratch, reused across calls to keep steady state allocation-free.
+  std::vector<std::uint64_t> due_;
+  std::vector<std::pair<std::uint32_t, EndReason>> candidates_;
+  std::vector<FlowKey> evict_;
 };
 
 }  // namespace steelnet::flowmon

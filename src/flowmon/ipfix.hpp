@@ -1,26 +1,43 @@
 // steelnet::flowmon -- the export wire format.
 //
-// An IPFIX-shaped (RFC 7011-flavoured) message codec: a message header,
-// template sets describing record layouts field-by-field, and data sets
-// of fixed-size records. The collector decodes data records *through the
-// template it learned*, skipping unknown fields by width -- so meter and
-// collector can evolve independently, exactly the property templates buy
-// real IPFIX deployments. Messages travel as net::Frame payloads
-// (EtherType::kFlowmonExport), little-endian like the rest of steelnet's
-// on-wire payloads.
+// An RFC 7011 IPFIX message codec: network byte order throughout, the
+// 16-byte message header (version 10, total length, exportTime in epoch
+// seconds, sequenceNumber, observationDomainId), template sets (set id 2)
+// describing record layouts field-by-field -- enterprise-specific
+// elements carry the E-bit plus a 4-byte Private Enterprise Number --
+// and data sets (set id >= 256) of fixed-size records padded to 4-byte
+// set alignment. The collector decodes data records *through the
+// template it learned*, skipping unknown fields (and foreign-PEN fields)
+// by width, so meter and collector can evolve independently -- exactly
+// the property templates buy real IPFIX deployments. Messages travel as
+// net::Frame payloads (EtherType::kFlowmonExport).
+//
+// Sequence numbers follow RFC 7011 §3.1: the count of data records sent
+// prior to this message on this (exporter session, observation domain)
+// stream, modulo 2^32 -- collectors must use serial-number arithmetic.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 #include "flowmon/flow_cache.hpp"
 
 namespace steelnet::flowmon {
 
+/// Our Private Enterprise Number for enterprise-specific elements
+/// (placeholder value; steelnet has no IANA assignment).
+inline constexpr std::uint32_t kSteelnetPen = 0xBEEF;
+
+/// The enterprise bit of a field specifier (RFC 7011 §3.2).
+inline constexpr std::uint16_t kEnterpriseBit = 0x8000;
+
 /// Field identifiers. Where IANA defines a fitting information element
-/// the id matches; cadence fields live in a private range.
+/// the id matches; cadence fields are enterprise-specific (E-bit set,
+/// exported under kSteelnetPen).
 enum class FieldId : std::uint16_t {
   kOctets = 1,         ///< payload octets (octetDeltaCount)
   kPackets = 2,        ///< packetDeltaCount
@@ -32,28 +49,22 @@ enum class FieldId : std::uint16_t {
   kVlanPcp = 244,      ///< dot1qPriority
   kEtherType = 256,    ///< ethernetType
   kLayer2Octets = 352, ///< layer2OctetDeltaCount
-  // Private enterprise range: cadence statistics.
-  kMinIatNs = 0x8001,
-  kMeanIatNs = 0x8002,
-  kJitterNs = 0x8003,
-};
-
-/// Why a record was exported (values follow IPFIX flowEndReason).
-enum class EndReason : std::uint8_t {
-  kIdleTimeout = 0x01,   ///< flow went silent; record evicted
-  kActiveTimeout = 0x02, ///< long-lived flow checkpoint; flow still live
-  kEndOfFlow = 0x03,     ///< protocol-level end (unused by the L2 meter)
-  kForcedEnd = 0x04,     ///< meter flushed (end of observation)
-  kLackOfResources = 0x05,
+  // Enterprise range (E-bit | element id): cadence statistics.
+  kMinIatNs = kEnterpriseBit | 1,
+  kMeanIatNs = kEnterpriseBit | 2,
+  kJitterNs = kEnterpriseBit | 3,
+  /// Decoder marker for an enterprise field under a foreign PEN: its
+  /// width is honoured (skip-by-width) but its value binds to nothing.
+  kForeignField = 0x7fff,
 };
 
 struct TemplateField {
   FieldId id;
-  std::uint8_t width;  ///< octets on the wire
+  std::uint8_t width;  ///< octets on the wire (1..8)
 };
 
 struct Template {
-  std::uint16_t id = 0;  ///< data-set ids start at 256, like IPFIX
+  std::uint16_t id = 0;  ///< data-set ids start at 256 (RFC 7011 §3.4.1)
   std::vector<TemplateField> fields;
 
   [[nodiscard]] std::size_t record_bytes() const;
@@ -80,27 +91,40 @@ struct ExportRecord {
 [[nodiscard]] ExportRecord to_export_record(const FlowRecord& r,
                                             EndReason reason);
 
+/// Record field lookup by information element -- the single source of
+/// truth shared by the encoder and mediation transforms.
+[[nodiscard]] std::uint64_t field_value(const ExportRecord& r, FieldId id);
+/// Inverse of field_value for the decoder; kForeignField binds nothing.
+void assign_field(ExportRecord& r, FieldId id, std::uint64_t v);
+
 struct MessageHeader {
   std::uint16_t version = kVersion;
   std::uint32_t observation_domain = 0;
-  /// Count of data records ever exported before this message (IPFIX
-  /// sequence semantics: lets the collector detect lost records).
+  /// Count of data records sent prior to this message on this stream
+  /// (RFC 7011 sequence semantics, wraps at 2^32).
   std::uint32_t sequence = 0;
+  /// Encoded as the RFC's 32-bit exportTime *seconds* field: truncated
+  /// to whole seconds on the wire, so a decoded header carries
+  /// second-granularity time.
   sim::SimTime export_time;
 
   static constexpr std::uint16_t kVersion = 10;  ///< IPFIX version number
 };
 
-/// Learned templates, keyed on (observation domain, template id).
+/// Learned templates, keyed on (exporter session, observation domain,
+/// template id). The session id scopes streams from distinct exporters
+/// that share a domain number -- we use the exporter's MAC bits.
 class TemplateStore {
  public:
-  void learn(std::uint32_t domain, Template tmpl);
-  [[nodiscard]] const Template* find(std::uint32_t domain,
+  void learn(std::uint64_t session, std::uint32_t domain, Template tmpl);
+  [[nodiscard]] const Template* find(std::uint64_t session,
+                                     std::uint32_t domain,
                                      std::uint16_t template_id) const;
   [[nodiscard]] std::size_t size() const { return templates_.size(); }
 
  private:
-  std::map<std::pair<std::uint32_t, std::uint16_t>, Template> templates_;
+  std::map<std::tuple<std::uint64_t, std::uint32_t, std::uint16_t>, Template>
+      templates_;
 };
 
 /// Serializes one export message: header, optionally the template set,
@@ -109,17 +133,39 @@ class TemplateStore {
     const MessageHeader& header, const Template& tmpl, bool include_template,
     const std::vector<ExportRecord>& records);
 
+/// Low-level encoder: identical framing, but field values come from
+/// `value(record_index, field_index)` -- the hook mediation transforms
+/// use to re-write records between federation tiers.
+[[nodiscard]] std::vector<std::uint8_t> encode_message_fn(
+    const MessageHeader& header, const Template& tmpl, bool include_template,
+    std::size_t record_count,
+    const std::function<std::uint64_t(std::size_t, std::size_t)>& value);
+
 struct DecodedMessage {
   MessageHeader header;
   std::uint16_t templates_learned = 0;
   std::vector<ExportRecord> records;
-  /// Data records skipped because their template was unknown.
+  /// Data sets skipped because their template was unknown.
   std::uint16_t records_without_template = 0;
 };
 
-/// Parses a message, learning templates into `store` and decoding data
-/// records through it. Returns nullopt on a malformed buffer.
+/// Parses a message, learning templates into `store` (under `session`)
+/// and decoding data records through it. Returns nullopt on a malformed
+/// buffer -- truncated set, bad version, zero-field template, or a data
+/// set whose length does not tile into whole records (+ <=3 padding).
 [[nodiscard]] std::optional<DecodedMessage> decode_message(
-    const std::vector<std::uint8_t>& payload, TemplateStore& store);
+    const std::vector<std::uint8_t>& payload, TemplateStore& store,
+    std::uint64_t session = 0);
+
+namespace wire {
+/// Big-endian append / patch / bounded read, shared with transform.cpp.
+void put_be(std::vector<std::uint8_t>& buf, std::uint64_t value,
+            std::size_t width);
+void patch_be16(std::vector<std::uint8_t>& buf, std::size_t at,
+                std::uint16_t value);
+[[nodiscard]] bool read_be(const std::vector<std::uint8_t>& buf,
+                           std::size_t& at, std::size_t width,
+                           std::uint64_t& out);
+}  // namespace wire
 
 }  // namespace steelnet::flowmon

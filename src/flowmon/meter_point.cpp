@@ -7,12 +7,26 @@
 
 namespace steelnet::flowmon {
 
+namespace {
+
+FlowCacheConfig cache_config(const MeterConfig& cfg) {
+  FlowCacheConfig c;
+  c.capacity = cfg.cache_capacity;
+  c.idle_timeout = cfg.idle_timeout;
+  c.active_timeout = cfg.active_timeout;
+  c.engine = cfg.expiry_engine;
+  c.wheel_tick = std::min(cfg.wheel_tick, cfg.export_interval);
+  return c;
+}
+
+}  // namespace
+
 MeterPoint::MeterPoint(net::Node& observed, net::HostNode& export_nic,
                        MeterConfig cfg)
     : observed_(observed),
       export_nic_(export_nic),
       cfg_(cfg),
-      cache_(cfg.cache_capacity) {
+      cache_(cache_config(cfg)) {
   observed_.add_frame_observer(this);
   sim::Simulator& sim = observed_.network().sim();
   sweeper_ = std::make_unique<sim::PeriodicTask>(
@@ -36,31 +50,23 @@ void MeterPoint::on_frame(const net::Frame& frame, net::PortId in_port) {
 void MeterPoint::sweep() {
   const sim::SimTime now = observed_.network().sim().now();
   std::vector<ExportRecord> out;
-  std::vector<FlowKey> evict;
-  cache_.for_each([&](FlowRecord& r) {
-    if (now - r.last_seen >= cfg_.idle_timeout) {
-      out.push_back(to_export_record(r, EndReason::kIdleTimeout));
-      evict.push_back(r.key);
+  cache_.sweep(now, [&](const FlowRecord& r, EndReason reason) {
+    out.push_back(to_export_record(r, reason));
+    if (reason == EndReason::kIdleTimeout) {
       ++stats_.idle_expired;
-    } else if (now - r.last_export >= cfg_.active_timeout) {
-      out.push_back(to_export_record(r, EndReason::kActiveTimeout));
-      r.last_export = now;
+    } else {
       ++stats_.active_checkpoints;
     }
   });
-  for (const FlowKey& k : evict) cache_.erase(k);
   if (!out.empty()) export_records(std::move(out));
 }
 
 void MeterPoint::flush() {
   std::vector<ExportRecord> out;
-  std::vector<FlowKey> evict;
-  cache_.for_each([&](FlowRecord& r) {
-    out.push_back(to_export_record(r, EndReason::kForcedEnd));
-    evict.push_back(r.key);
+  cache_.flush([&](const FlowRecord& r, EndReason reason) {
+    out.push_back(to_export_record(r, reason));
     ++stats_.flushed;
   });
-  for (const FlowKey& k : evict) cache_.erase(k);
   if (!out.empty()) export_records(std::move(out));
 }
 
@@ -147,6 +153,12 @@ void MeterPoint::register_metrics(obs::ObsHub& hub,
   reg.bind_counter({node_label, "flowcache", "probes"}, &cs.probes);
   reg.bind_counter({node_label, "flowcache", "dropped_full"},
                    &cs.dropped_full);
+  reg.bind_counter({node_label, "flowcache", "wheel_fires"},
+                   &cs.wheel_fires);
+  reg.bind_counter({node_label, "flowcache", "wheel_rearms"},
+                   &cs.wheel_rearms);
+  reg.bind_gauge({node_label, "flowcache", "occupancy"},
+                 [this] { return static_cast<double>(cache_.size()); });
 }
 
 std::function<std::optional<sim::SimTime>()> make_liveness_probe(

@@ -55,4 +55,49 @@ std::string flows_csv(const std::vector<FlowView>& flows) {
   return csv.to_string();
 }
 
+namespace {
+
+void add_tier_rows(core::TextTable& table, const TierRow& row) {
+  table.add_row({row.tier, std::to_string(row.offered),
+                 std::to_string(row.received), std::to_string(row.lost),
+                 std::to_string(row.reordered),
+                 std::to_string(row.template_misses),
+                 std::to_string(row.malformed),
+                 std::to_string(row.transform_dropped),
+                 std::to_string(row.reexported), std::to_string(row.flows),
+                 core::TextTable::num(row.lag_mean_us),
+                 core::TextTable::num(row.lag_p95_us)});
+}
+
+}  // namespace
+
+std::string federation_table(const FederationResult& r) {
+  core::TextTable table({"tier", "offered", "received", "lost", "reord",
+                         "tmpl-miss", "malformed", "xform-drop", "re-exp",
+                         "flows", "lag mean (us)", "lag p95 (us)"});
+  for (const TierRow& row : r.cells) add_tier_rows(table, row);
+  add_tier_rows(table, r.plant);
+  return table.to_string();
+}
+
+std::string federation_csv(const FederationResult& r) {
+  core::CsvWriter csv({"tier", "offered", "received", "lost", "reordered",
+                       "template_misses", "malformed", "transform_dropped",
+                       "reexported", "flows", "lag_mean_us", "lag_p95_us"});
+  const auto add = [&csv](const TierRow& row) {
+    csv.add_row({row.tier, std::to_string(row.offered),
+                 std::to_string(row.received), std::to_string(row.lost),
+                 std::to_string(row.reordered),
+                 std::to_string(row.template_misses),
+                 std::to_string(row.malformed),
+                 std::to_string(row.transform_dropped),
+                 std::to_string(row.reexported), std::to_string(row.flows),
+                 std::to_string(row.lag_mean_us),
+                 std::to_string(row.lag_p95_us)});
+  };
+  for (const TierRow& row : r.cells) add(row);
+  add(r.plant);
+  return csv.to_string();
+}
+
 }  // namespace steelnet::flowmon

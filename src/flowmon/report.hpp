@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "flowmon/collector.hpp"
+#include "flowmon/federation.hpp"
 
 namespace steelnet::flowmon {
 
@@ -17,5 +18,13 @@ namespace steelnet::flowmon {
 /// CSV export of every measured flow (core::CsvWriter) -- one row per
 /// flow, all FlowView fields, stable column order.
 [[nodiscard]] std::string flows_csv(const std::vector<FlowView>& flows);
+
+/// Per-tier (cells -> plant) pipeline-health table: offered vs received
+/// records, sequence losses/reorders, template misses, transform drops,
+/// re-exports, and export-lag mean/p95 per hop.
+[[nodiscard]] std::string federation_table(const FederationResult& r);
+
+/// The same rows as CSV (one row per tier, stable column order).
+[[nodiscard]] std::string federation_csv(const FederationResult& r);
 
 }  // namespace steelnet::flowmon

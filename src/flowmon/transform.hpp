@@ -1,0 +1,87 @@
+// steelnet::flowmon -- mediation / transform rules between federation
+// tiers (the transform_rules.c idea from ipfix-wrt, made declarative).
+//
+// A cell-tier collector re-exporting to the plant tier may not forward
+// records verbatim: the plant schema can rename fields, drop
+// cell-internal ones, re-scale units, and stamp its own observation
+// domain. TransformRules captures that declaratively; CompiledTransform
+// binds the rules to a concrete input template once, yielding the output
+// wire template plus a per-field source map, so applying the transform
+// per record is branch-free arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flowmon/ipfix.hpp"
+
+namespace steelnet::flowmon {
+
+struct TransformRules {
+  /// Nonzero: re-exported messages carry this observation domain id.
+  std::uint32_t rewrite_domain = 0;
+  /// Nonzero: the output template is advertised under this id (else the
+  /// input template's id is kept).
+  std::uint16_t rewrite_template_id = 0;
+  /// Fields removed from the output template entirely.
+  std::vector<FieldId> drops;
+  /// Field renames: the value of `from` is exported under `to`'s id
+  /// (width preserved).
+  struct Remap {
+    FieldId from;
+    FieldId to;
+  };
+  std::vector<Remap> remaps;
+  /// Integer re-scaling: value * num / den (e.g. ns -> us with 1/1000).
+  struct Scale {
+    FieldId field;
+    std::uint64_t num = 1;
+    std::uint64_t den = 1;
+  };
+  std::vector<Scale> scales;
+  /// Records with fewer packets are not re-exported (mediation filter);
+  /// dropped records are counted by the collector as transform drops.
+  std::uint64_t min_packets = 0;
+};
+
+/// TransformRules bound to one input template.
+class CompiledTransform {
+ public:
+  CompiledTransform() = default;
+  CompiledTransform(const TransformRules& rules, const Template& input);
+
+  /// The template advertised downstream (post drop/remap/re-id).
+  [[nodiscard]] const Template& wire_template() const { return wire_; }
+  /// Mediation filter: should this record be re-exported at all?
+  [[nodiscard]] bool keep(const ExportRecord& r) const {
+    return r.packets >= min_packets_;
+  }
+  /// Output value of wire field `field_index` for record `r` (source
+  /// field lookup + scaling).
+  [[nodiscard]] std::uint64_t value_of(const ExportRecord& r,
+                                       std::size_t field_index) const;
+  /// The observation domain to stamp, given the tier's default.
+  [[nodiscard]] std::uint32_t domain_or(std::uint32_t fallback) const {
+    return rewrite_domain_ != 0 ? rewrite_domain_ : fallback;
+  }
+
+ private:
+  struct Source {
+    FieldId from = FieldId::kForeignField;
+    std::uint64_t num = 1;
+    std::uint64_t den = 1;
+  };
+
+  Template wire_;
+  std::vector<Source> sources_;  ///< parallel to wire_.fields
+  std::uint64_t min_packets_ = 0;
+  std::uint32_t rewrite_domain_ = 0;
+};
+
+/// Encodes one re-export message: `records` pass through `t`'s field
+/// map/scaling and are framed under its wire template.
+[[nodiscard]] std::vector<std::uint8_t> encode_transformed(
+    const MessageHeader& header, const CompiledTransform& t,
+    bool include_template, const std::vector<ExportRecord>& records);
+
+}  // namespace steelnet::flowmon

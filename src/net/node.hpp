@@ -59,6 +59,9 @@ class Node {
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Network& network() const { return *network_; }
+  /// False for a node constructed standalone (unit tests drive
+  /// handle_frame directly); network() is only valid when attached.
+  [[nodiscard]] bool attached() const { return network_ != nullptr; }
 
  protected:
   Node() = default;
