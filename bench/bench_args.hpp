@@ -15,6 +15,8 @@
 //                    (e.g. tab_flowmon's max live-flow count)
 //   --bench-json <f> where supported: write the scaling curve as a JSON
 //                    benchmark artifact
+//   --shards <n>     where supported: worker shards of one sharded
+//                    simulation (tab_campus); orthogonal to --jobs
 // plus --help. Binaries without an obs wiring still accept --trace and
 // --metrics but warn on stderr that nothing will be produced.
 #pragma once
@@ -45,6 +47,10 @@ struct BenchArgs {
   /// --bench-json <file>: where supported, write a google-benchmark-style
   /// JSON artifact of the scaling curve.
   std::optional<std::string> bench_json_path;
+  /// --shards <n>: where supported, worker shards of ONE sharded
+  /// simulation (sim::ShardedSimulator semantics; orthogonal to --jobs,
+  /// which parallelizes across independent runs). 0 = binary default.
+  std::size_t shards = 0;
 
   /// Parses argv; exits on --help (0) and on malformed/unknown flags (2).
   static BenchArgs parse(int argc, char** argv,
@@ -86,11 +92,17 @@ struct BenchArgs {
       } else if (a == "--bench-json") {
         args.bench_json_path = need_value(i, a);
         ++i;
+      } else if (a == "--shards") {
+        args.shards =
+            static_cast<std::size_t>(std::strtoull(need_value(i, a),
+                                                   nullptr, 0));
+        ++i;
       } else if (a == "--help" || a == "-h") {
         std::cout << "usage: " << prog
                   << " [--seed <n>] [--csv] [--trace <file>]"
                      " [--metrics <file>] [--sweep <n>] [--jobs <n>]"
-                     " [--scale <n>] [--bench-json <file>]\n";
+                     " [--scale <n>] [--bench-json <file>]"
+                     " [--shards <n>]\n";
         std::exit(0);
       } else {
         std::cerr << prog << ": unknown argument '" << a

@@ -1,0 +1,248 @@
+// The campus at fleet scale on the sharded kernel: hundreds of
+// production cells, tens of thousands of PROFINET devices, one
+// sim::ShardedSimulator run -- the workload that motivates conservative
+// parallel simulation in the first place.
+//
+// Default mode runs the table campus at shards 1 and 8 and reports, per
+// shard count, the cyclic/report/drop totals plus the artifact
+// fingerprint -- which must be identical across the two rows (the
+// determinism headline this PR's tests and CI gate pin). Modes:
+//
+//   --shards <n>      run a single shard count instead of {1, 8}
+//   --csv             the per-cell CSV artifact of one run (the exact
+//                     byte stream the CI diff gate compares across shard
+//                     counts) instead of the rendered table
+//   --sweep <k>       k seeded small campuses through the seed-sweep
+//                     harness (each itself sharded via --shards); prints
+//                     one fingerprint row per seed, byte-identical at any
+//                     --jobs/--shards combination
+//   --metrics <file>  Prometheus dump of the (first) run
+//   --trace <file>    Chrome-trace JSON of the (first) run
+//   --bench-json <f>  the BIG campus (240 cells x 48 devices ~ 11.5k
+//                     PROFINET endpoints) over a shard ladder {1,2,4,8},
+//                     frames/sec headline per rung, written as a
+//                     google-benchmark-style JSON artifact
+//   --scale <n>       override the big campus cell count (default 240)
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_args.hpp"
+#include "core/report.hpp"
+#include "core/sweep_runner.hpp"
+#include "net/campus.hpp"
+
+namespace {
+
+using steelnet::net::CampusOptions;
+using steelnet::net::CampusResult;
+
+std::string hex16(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+CampusOptions table_options(std::uint64_t seed) {
+  CampusOptions opt;
+  opt.cells = 48;
+  opt.devices_per_cell = 8;
+  opt.cycle = steelnet::sim::milliseconds(4);
+  opt.horizon = steelnet::sim::milliseconds(150);
+  opt.seed = seed;
+  opt.faults = true;
+  return opt;
+}
+
+CampusOptions big_options(std::uint64_t seed, std::size_t cells) {
+  CampusOptions opt;
+  opt.cells = cells == 0 ? 240 : cells;
+  opt.devices_per_cell = 48;
+  opt.cycle = steelnet::sim::milliseconds(8);
+  opt.horizon = steelnet::sim::milliseconds(250);
+  opt.backbone_degree = 3;
+  opt.seed = seed;
+  return opt;
+}
+
+struct Totals {
+  std::uint64_t cyclic_tx = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t reports_rx = 0;
+  std::uint64_t watchdog_trips = 0;
+  std::uint64_t drops = 0;
+};
+
+Totals totals_of(const CampusResult& r) {
+  Totals t;
+  for (const auto& c : r.cells) {
+    t.cyclic_tx += c.cyclic_tx;
+    t.frames_delivered += c.frames_delivered;
+    t.reports_rx += c.reports_received;
+    t.watchdog_trips += c.watchdog_trips;
+    t.drops += c.dropped_loss + c.dropped_link_down + c.dropped_sender_down +
+               c.dropped_receiver_down;
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace steelnet;
+
+  const auto args = bench::BenchArgs::parse(argc, argv, /*default_seed=*/1);
+
+  // --- big-campus shard ladder -> BENCH_campus.json ------------------------
+  if (args.bench_json_path.has_value()) {
+    const std::vector<std::size_t> ladder = {1, 2, 4, 8};
+    struct Rung {
+      std::size_t shards;
+      double wall_s;
+      double frames_per_s;
+      std::uint64_t fp;
+      std::uint64_t events;
+      std::uint64_t delivered;
+    };
+    std::vector<Rung> rungs;
+    std::size_t devices_total = 0;
+    for (const std::size_t sh : ladder) {
+      CampusOptions opt = big_options(args.seed, args.scale);
+      opt.shards = sh;
+      devices_total = opt.cells * opt.devices_per_cell;
+      const CampusResult r = net::run_campus(opt);
+      const Totals t = totals_of(r);
+      rungs.push_back({sh, r.stats.wall_seconds,
+                       r.stats.wall_seconds > 0.0
+                           ? static_cast<double>(t.frames_delivered) /
+                                 r.stats.wall_seconds
+                           : 0.0,
+                       r.fingerprint(), r.stats.events, t.frames_delivered});
+      std::fprintf(stderr, "tab_campus: shards=%zu wall=%.2fs fp=%s\n", sh,
+                   r.stats.wall_seconds, hex16(r.fingerprint()).c_str());
+      if (rungs.front().fp != rungs.back().fp) {
+        std::cerr << "tab_campus: artifact fingerprint diverged at shards="
+                  << sh << " -- determinism bug\n";
+        return 1;
+      }
+    }
+    std::ofstream out{*args.bench_json_path};
+    out << "{\n  \"bench\": \"campus_shard_scaling\",\n"
+        << "  \"context\": {\"cells\": " << big_options(args.seed,
+                                                        args.scale).cells
+        << ", \"devices\": " << devices_total
+        << ", \"horizon_ms\": 250, \"seed\": " << args.seed
+        << ", \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << "},\n  \"points\": [\n";
+    for (std::size_t i = 0; i < rungs.size(); ++i) {
+      const Rung& r = rungs[i];
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "    {\"shards\": %zu, \"wall_s\": %.3f, "
+                    "\"frames_per_s\": %.1f, \"events\": %" PRIu64
+                    ", \"frames_delivered\": %" PRIu64
+                    ", \"artifact_fp\": \"%s\"}%s\n",
+                    r.shards, r.wall_s, r.frames_per_s, r.events, r.delivered,
+                    hex16(r.fp).c_str(), i + 1 < rungs.size() ? "," : "");
+      out << line;
+    }
+    const double base = rungs.front().wall_s;
+    out << "  ],\n  \"speedup\": {";
+    for (std::size_t i = 0; i < rungs.size(); ++i) {
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%s\"%zu\": %.2f",
+                    i == 0 ? "" : ", ", rungs[i].shards,
+                    rungs[i].wall_s > 0.0 ? base / rungs[i].wall_s : 0.0);
+      out << cell;
+    }
+    out << "},\n  \"artifacts_identical\": true\n}\n";
+    std::cout << "wrote " << *args.bench_json_path << "\n";
+    return 0;
+  }
+
+  // --- seed sweep (each task itself sharded) --------------------------------
+  if (args.sweep > 0) {
+    const std::size_t shards = args.shards == 0 ? 2 : args.shards;
+    const auto slots =
+        core::SweepRunner{args.jobs, shards}.run(
+            args.sweep, [&](std::size_t i) {
+              CampusOptions opt = table_options(args.seed + i);
+              opt.cells = 12;
+              opt.devices_per_cell = 3;
+              opt.horizon = sim::milliseconds(80);
+              opt.shards = shards;
+              const CampusResult r = net::run_campus(opt);
+              return std::pair<std::uint64_t, Totals>{r.fingerprint(),
+                                                      totals_of(r)};
+            });
+    core::CsvWriter csv({"seed", "fingerprint", "cyclic_tx", "reports_rx",
+                         "watchdog_trips", "drops"});
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (!slots[i].ok()) {
+        std::cerr << "tab_campus: sweep seed " << args.seed + i
+                  << " failed: " << slots[i].error << "\n";
+        return 1;
+      }
+      const auto& [fp, t] = *slots[i].value;
+      csv.add_row({std::to_string(args.seed + i), hex16(fp),
+                   std::to_string(t.cyclic_tx), std::to_string(t.reports_rx),
+                   std::to_string(t.watchdog_trips),
+                   std::to_string(t.drops)});
+    }
+    csv.print(std::cout);
+    return 0;
+  }
+
+  // --- table / CSV mode -----------------------------------------------------
+  const std::vector<std::size_t> shard_counts =
+      args.shards != 0 ? std::vector<std::size_t>{args.shards}
+                       : std::vector<std::size_t>{1, 8};
+  std::vector<CampusResult> results;
+  for (const std::size_t sh : shard_counts) {
+    CampusOptions opt = table_options(args.seed);
+    opt.shards = sh;
+    results.push_back(net::run_campus(opt));
+  }
+
+  if (args.metrics_path.has_value()) {
+    std::ofstream{*args.metrics_path} << results.front().to_prometheus();
+  }
+  if (args.trace_path.has_value()) {
+    std::ofstream{*args.trace_path} << results.front().to_chrome_trace();
+  }
+
+  if (args.csv) {
+    // The CI diff-gate artifact: the raw per-cell CSV of the FIRST run.
+    std::cout << results.front().to_csv();
+    return 0;
+  }
+
+  core::TextTable table({"shards", "events", "cyclic_tx", "delivered",
+                         "reports_rx", "wdt_trips", "drops", "fingerprint"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CampusResult& r = results[i];
+    const Totals t = totals_of(r);
+    table.add_row({std::to_string(shard_counts[i]),
+                   std::to_string(r.stats.events),
+                   std::to_string(t.cyclic_tx),
+                   std::to_string(t.frames_delivered),
+                   std::to_string(t.reports_rx),
+                   std::to_string(t.watchdog_trips), std::to_string(t.drops),
+                   hex16(r.fingerprint())});
+  }
+  table.print(std::cout);
+  if (results.size() > 1) {
+    const bool identical =
+        results.front().fingerprint() == results.back().fingerprint() &&
+        results.front().cells == results.back().cells;
+    std::cout << "artifacts shards=" << shard_counts.front()
+              << " vs shards=" << shard_counts.back() << ": "
+              << (identical ? "byte-identical" : "DIVERGED") << "\n";
+    if (!identical) return 1;
+  }
+  return 0;
+}

@@ -36,6 +36,16 @@ namespace steelnet::core {
 [[nodiscard]] std::size_t effective_jobs(std::size_t requested,
                                          std::size_t tasks);
 
+/// Worker count when every task itself runs `shards_per_task` worker
+/// threads (a sharded simulation per seed): the hardware budget is
+/// divided by the per-task thread count before the usual clamping, so
+/// `jobs x shards` never oversubscribes the machine by design. An
+/// explicit `requested` value is still honored as given -- the caller
+/// asked for it -- only the `requested == 0` default is divided.
+[[nodiscard]] std::size_t effective_jobs(std::size_t requested,
+                                         std::size_t tasks,
+                                         std::size_t shards_per_task);
+
 /// One task's outcome: a value, or the what() of the exception it threw.
 template <typename R>
 struct SweepSlot {
@@ -47,9 +57,17 @@ struct SweepSlot {
 class SweepRunner {
  public:
   /// `jobs == 0` (the default) means one worker per hardware thread.
-  explicit SweepRunner(std::size_t jobs = 0) : jobs_(jobs) {}
+  /// `shards_per_task` declares how many worker threads each task spawns
+  /// internally (1 = the classic single-threaded task); the default job
+  /// count shrinks accordingly so the pool never oversubscribes.
+  explicit SweepRunner(std::size_t jobs = 0, std::size_t shards_per_task = 1)
+      : jobs_(jobs), shards_per_task_(std::max<std::size_t>(
+                         shards_per_task, 1)) {}
 
   [[nodiscard]] std::size_t jobs() const { return jobs_; }
+  [[nodiscard]] std::size_t shards_per_task() const {
+    return shards_per_task_;
+  }
 
   /// Runs fn(0) .. fn(tasks-1) across the pool and returns slot-per-task
   /// results in task order. `fn` is invoked concurrently from multiple
@@ -68,7 +86,8 @@ class SweepRunner {
         slots[i].error = "unknown exception";
       }
     };
-    const std::size_t workers = effective_jobs(jobs_, tasks);
+    const std::size_t workers = effective_jobs(jobs_, tasks,
+                                               shards_per_task_);
     if (workers <= 1) {
       for (std::size_t i = 0; i < tasks; ++i) run_one(i);
       return slots;
@@ -89,6 +108,7 @@ class SweepRunner {
 
  private:
   std::size_t jobs_;
+  std::size_t shards_per_task_;
 };
 
 }  // namespace steelnet::core

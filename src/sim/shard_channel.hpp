@@ -1,0 +1,69 @@
+// steelnet::sim -- the latency-stamped channel between two cells of the
+// sharded kernel.
+//
+// A ShardChannel models one directed inter-cell link: a fixed minimum
+// latency (the conservative lookahead bound -- every message sent at time
+// t is delivered no earlier than t + latency) over an SpscRing of POD
+// messages. The minimum latency is what makes conservative parallel
+// simulation possible at all: the receiving cell may safely execute
+// everything strictly before min over inbound channels of
+// (sender clock lower bound + latency), the classic null-message bound.
+//
+// Messages are fixed-size PODs with a small inline payload so a
+// cross-shard frame handoff copies bytes through the ring and rebuilds
+// the frame from the *receiving* cell's FramePool -- no heap allocation
+// and no cross-thread buffer ownership on the steady-state path.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "sim/spsc_ring.hpp"
+
+namespace steelnet::sim {
+
+/// Inline payload budget of one cross-shard message. Sized for the small
+/// control/report PDUs that cross cell boundaries (PROFINET cyclic
+/// payloads are tens of bytes); senders of larger payloads must fragment.
+inline constexpr std::size_t kShardMsgInlineBytes = 96;
+
+/// One cross-shard message. `deliver_ns >= send_ns + channel latency`
+/// always holds; (deliver_ns, src_cell, seq) is the total delivery order
+/// at the receiver, which is what makes the merge deterministic at any
+/// shard count.
+struct ShardMsg {
+  std::int64_t deliver_ns = 0;
+  std::int64_t send_ns = 0;
+  std::uint32_t src_cell = 0;
+  std::uint32_t kind = 0;          ///< application-defined discriminator
+  std::uint64_t seq = 0;           ///< per-sender send sequence
+  std::uint64_t a = 0;             ///< application payload word
+  std::uint64_t b = 0;             ///< application payload word
+  std::uint16_t len = 0;           ///< bytes used in `data`
+  std::uint8_t data[kShardMsgInlineBytes] = {};
+
+  void set_data(const void* bytes, std::size_t n) {
+    len = static_cast<std::uint16_t>(n);
+    if (n > 0) std::memcpy(data, bytes, n);
+  }
+};
+static_assert(std::is_trivially_copyable_v<ShardMsg>);
+static_assert(sizeof(ShardMsg) <= 160);
+
+/// The directed channel: ring + metadata. The published-clock atomic the
+/// receiver combines with `latency_ns` lives on the *sending cell* (one
+/// clock serves all of its outbound channels), so the channel itself is
+/// plain data plus the ring.
+struct ShardChannel {
+  ShardChannel(std::uint32_t src_cell, std::uint32_t dst_cell,
+               std::int64_t latency, std::size_t capacity)
+      : src(src_cell), dst(dst_cell), latency_ns(latency), ring(capacity) {}
+
+  std::uint32_t src;
+  std::uint32_t dst;
+  std::int64_t latency_ns;  ///< minimum delivery delay; must be > 0
+  SpscRing<ShardMsg> ring;
+};
+
+}  // namespace steelnet::sim

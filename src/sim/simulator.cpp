@@ -53,6 +53,19 @@ bool Simulator::step() {
   return true;
 }
 
+void Simulator::advance_clock_to(SimTime at) {
+  if (at < now_) {
+    throw SimError("advance_clock_to: time " + at.to_string() +
+                   " is in the past (now " + now_.to_string() + ")");
+  }
+  const SimTime next = queue_.next_time();
+  if (next < at) {
+    throw SimError("advance_clock_to: time " + at.to_string() +
+                   " would jump over a pending event at " + next.to_string());
+  }
+  now_ = at;
+}
+
 void Simulator::reset() {
   queue_.clear();
   now_ = SimTime::zero();

@@ -46,11 +46,31 @@ class Simulator {
   /// Executes at most one event; returns false if none is pending.
   bool step();
 
+  /// Earliest pending event time, or SimTime::max() when the queue is
+  /// empty. Used by drivers that interleave the local queue with an
+  /// external ordered source (the sharded kernel's staged cross-shard
+  /// messages).
+  [[nodiscard]] SimTime next_event_time() { return queue_.next_time(); }
+
+  /// Moves the clock forward to `at` without firing anything -- the hook
+  /// a sharded driver uses to execute an externally ordered action (a
+  /// cross-shard message) at its delivery time. Throws SimError when `at`
+  /// is in the past or would jump over a pending local event, so protocol
+  /// bugs (a message delivered beyond the lookahead window) fail loudly
+  /// instead of silently reordering the run.
+  void advance_clock_to(SimTime at);
+
   /// Stops the current run_until/run loop after the in-flight event.
   void request_stop() { stop_requested_ = true; }
 
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::size_t events_pending() { return queue_.size(); }
+  /// Events cancelled through handles over the simulator's lifetime --
+  /// exposed so sharded-kernel audits can pin the queue's accounting
+  /// (live_size/cancelled_total) per cell at any shard count.
+  [[nodiscard]] std::uint64_t events_cancelled() const {
+    return queue_.cancelled_total();
+  }
   /// Callback slots the kernel ever allocated; flat after warm-up when
   /// the slab recycles (see EventQueue::slot_capacity).
   [[nodiscard]] std::size_t event_slot_capacity() const {

@@ -1,0 +1,76 @@
+// steelnet::sim -- a bounded lock-free single-producer/single-consumer
+// ring.
+//
+// The cross-shard counterpart of RingQueue: where RingQueue is the
+// single-threaded growable FIFO of the egress path, SpscRing is the
+// fixed-capacity wait-free channel buffer between two worker threads of
+// the sharded kernel. One thread pushes, one thread pops; the only shared
+// state is two cache-line-separated atomic cursors with acquire/release
+// pairing, so a popped element is always fully visible to the consumer.
+//
+// Capacity is fixed (rounded up to a power of two) because a growable
+// buffer cannot be resized lock-free; the sharded kernel treats a full
+// ring as backpressure (the producer drains its own inbound rings and
+// retries), never as loss.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace steelnet::sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity = 1024)
+      : buf_(round_up_pow2(capacity)), mask_(buf_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(const T& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == buf_.size()) {
+      return false;
+    }
+    buf_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == head) return false;
+    out = std::move(buf_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate -- exact only when both sides are quiescent
+  /// (which is when the sharded kernel reads it, after the join).
+  [[nodiscard]] std::size_t size_approx() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  std::vector<T> buf_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< producer cursor
+};
+
+}  // namespace steelnet::sim

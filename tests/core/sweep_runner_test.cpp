@@ -27,6 +27,24 @@ TEST(SweepRunner, EffectiveJobsClampsToTasksAndNeverBelowOne) {
   EXPECT_EQ(effective_jobs(8, 0), 1u);    // empty sweep still well-defined
 }
 
+TEST(SweepRunner, ShardsPerTaskDividesTheAutoJobBudget) {
+  // An explicit job count is the caller's business -- shards never
+  // override it.
+  EXPECT_EQ(effective_jobs(4, 100, 8), 4u);
+  // Auto mode (0) divides hardware concurrency by the per-task shard
+  // count so sweep workers x shard threads stays ~= the core count.
+  const std::size_t solo = effective_jobs(0, 1000, 1);
+  const std::size_t wide = effective_jobs(0, 1000, 64);
+  EXPECT_GE(solo, wide);
+  EXPECT_EQ(wide, 1u);  // 64 shards/task swamps any realistic machine
+  // shards = 0 is treated as 1, and the task clamp still applies last.
+  EXPECT_EQ(effective_jobs(0, 1000, 0), solo);
+  EXPECT_EQ(effective_jobs(8, 2, 4), 2u);
+  // The runner carries the setting for bench drivers to forward.
+  EXPECT_EQ(SweepRunner(0, 4).shards_per_task(), 4u);
+  EXPECT_EQ(SweepRunner{}.shards_per_task(), 1u);
+}
+
 TEST(SweepRunner, ResultsLandInTaskOrderForAnyJobCount) {
   for (const std::size_t jobs : {std::size_t{1}, std::size_t{4},
                                  std::size_t{8}}) {
