@@ -19,11 +19,23 @@ void FaultPlane::set_link_down(net::NodeId node, net::PortId port, bool down) {
   bool& state = link_down_[key(node, port)];
   if (state == down) return;  // idempotent: flap trains may overlap windows
   state = down;
-  if (const auto peer = net_.peer(node, port)) {
+  const auto peer = net_.peer(node, port);
+  if (peer) {
     link_down_[key(peer->first, peer->second)] = down;
   }
   if (down) {
     ++counters_.link_down_events;
+    // A frame caught mid-serialization by the hard-down is cut on the
+    // wire: cancel its delivery and book it here, so it resolves to
+    // exactly one ledger cause (it was only in_flight until now). The
+    // idempotence guard above makes overlapping flap windows kill each
+    // frame at most once.
+    counters_.dropped_link_down +=
+        net_.kill_in_flight(node, port, "link_down");
+    if (peer) {
+      counters_.dropped_link_down +=
+          net_.kill_in_flight(peer->first, peer->second, "link_down");
+    }
   } else {
     ++counters_.link_up_events;
   }
@@ -244,8 +256,8 @@ std::int64_t FaultPlane::conservation_residual() const {
   const std::int64_t offered =
       static_cast<std::int64_t>(c.frames_offered + counters_.duplicated);
   const std::int64_t accounted = static_cast<std::int64_t>(
-      c.frames_delivered + c.frames_dropped_no_link + counters_.wire_drops() +
-      c.frames_in_flight);
+      c.frames_delivered + c.frames_dropped_no_link +
+      c.frames_dropped_backend + counters_.wire_drops() + c.frames_in_flight);
   return offered - accounted;
 }
 

@@ -153,8 +153,8 @@ class FaultPlane final : public net::FaultInjector {
   // --- ledger -------------------------------------------------------------
   [[nodiscard]] const FaultCounters& counters() const { return counters_; }
   /// Frame-conservation residual, valid at any instant:
-  ///   (offered + duplicated) - (delivered + dropped_no_link + wire_drops
-  ///                             + in_flight)
+  ///   (offered + duplicated) - (delivered + dropped_no_link
+  ///                             + dropped_backend + wire_drops + in_flight)
   /// Zero means every injected fault is accounted for by exactly one
   /// drop-cause counter.
   [[nodiscard]] std::int64_t conservation_residual() const;

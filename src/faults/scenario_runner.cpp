@@ -1,38 +1,11 @@
 #include "faults/scenario_runner.hpp"
 
-#include <algorithm>
-#include <unordered_map>
-
-#include "instaplc/instaplc.hpp"
-#include "obs/exporters.hpp"
-#include "obs/hub.hpp"
-#include "profinet/controller.hpp"
-#include "profinet/io_device.hpp"
+#include "faults/instaplc_testbed.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
 namespace steelnet::faults {
 namespace {
-
-/// Counts frames delivered anywhere whose source node was already dead
-/// (permanently crashed/stopped) when the frame was created -- the
-/// "no delivery after a kill" invariant.
-class PostKillProbe final : public net::FrameObserver {
- public:
-  void watch(net::MacAddress mac, sim::SimTime killed_at) {
-    kills_[mac.bits()] = killed_at;
-  }
-  void on_frame(const net::Frame& frame, net::PortId in_port) override {
-    (void)in_port;
-    const auto it = kills_.find(frame.src.bits());
-    if (it != kills_.end() && frame.created_at > it->second) ++violations_;
-  }
-  [[nodiscard]] std::uint64_t violations() const { return violations_; }
-
- private:
-  std::unordered_map<std::uint64_t, sim::SimTime> kills_;
-  std::uint64_t violations_ = 0;
-};
 
 void hash_u64(std::uint64_t& h, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
@@ -90,121 +63,10 @@ std::uint64_t ScenarioOutcome::fingerprint() const {
 
 ScenarioOutcome ScenarioRunner::run(const FaultScenario& scenario) const {
   sim::Simulator simulator;
-  net::Network network{simulator};
-  obs::ObsHub hub;
-
-  auto& sw = network.add_node<sdn::SdnSwitchNode>("sdn");
-  auto& dev_host = network.add_node<net::HostNode>("dev", net::MacAddress{0xD});
-  auto& v1_host = network.add_node<net::HostNode>("v1", net::MacAddress{0x1});
-  auto& v2_host = network.add_node<net::HostNode>("v2", net::MacAddress{0x2});
-  network.connect(dev_host.id(), 0, sw.id(), 0);
-  network.connect(v1_host.id(), 0, sw.id(), 1);
-  network.connect(v2_host.id(), 0, sw.id(), 2);
-
-  profinet::IoDevice device{dev_host};
-  instaplc::InstaPlcApp app{
-      sw, {.device_port = 0, .switchover_cycles = opts_.switchover_cycles}};
-
-  profinet::ControllerConfig c1;
-  c1.ar_id = 1;
-  c1.device_mac = dev_host.mac();
-  c1.cycle = opts_.io_cycle;
-  profinet::CyclicController vplc1{v1_host, c1};
-  profinet::ControllerConfig c2 = c1;
-  c2.ar_id = 2;
-  profinet::CyclicController vplc2{v2_host, c2};
-
-  FaultPlane plane{network, scenario.seed};
-  network.set_faults(&plane);
-  // A vPLC host's process dies and restarts with its node.
-  plane.set_crash_handler(v1_host.id(), [&] { vplc1.stop(); });
-  plane.set_restart_handler(v1_host.id(), [&] { vplc1.connect(); });
-  plane.set_crash_handler(v2_host.id(), [&] { vplc2.stop(); });
-  plane.set_restart_handler(v2_host.id(), [&] { vplc2.connect(); });
-
-  if (opts_.with_obs) {
-    network.set_obs(&hub);
-    network.register_metrics(hub);
-    sw.register_metrics(hub);
-    v1_host.register_metrics(hub);
-    v2_host.register_metrics(hub);
-    dev_host.register_metrics(hub);
-    device.register_metrics(hub);
-    vplc1.register_metrics(hub);
-    vplc2.register_metrics(hub);
-    app.register_metrics(hub, "sdn");
-    plane.register_metrics(hub);
-  }
-
-  // Invariant probes.
-  PostKillProbe post_kill;
-  for (const FaultSpec& f : scenario.faults) {
-    if ((f.kind != FaultKind::kNodeCrash && f.kind != FaultKind::kNodeStop) ||
-        f.duration != sim::SimTime::zero()) {
-      continue;  // only permanent kills forbid later deliveries
-    }
-    const auto id = plane.find_node(f.node);
-    if (!id.has_value()) continue;
-    if (*id == v1_host.id()) post_kill.watch(v1_host.mac(), f.at);
-    if (*id == v2_host.id()) post_kill.watch(v2_host.mac(), f.at);
-    if (*id == dev_host.id()) post_kill.watch(dev_host.mac(), f.at);
-  }
-  dev_host.add_frame_observer(&post_kill);
-  v1_host.add_frame_observer(&post_kill);
-  v2_host.add_frame_observer(&post_kill);
-
-  sim::SimTime last_valid_output = sim::SimTime::zero();
-  sim::SimTime max_gap = sim::SimTime::zero();
-  bool saw_output = false;
-  device.set_output_handler([&](const std::vector<std::uint8_t>&, bool run) {
-    if (!run) return;
-    const sim::SimTime now = simulator.now();
-    if (saw_output) max_gap = std::max(max_gap, now - last_valid_output);
-    saw_output = true;
-    last_valid_output = now;
-  });
-
-  sim::SimTime last_primary_seen = sim::SimTime::zero();
-  sim::SimTime switchover_latency = sim::SimTime::zero();
-  app.set_observer([&](instaplc::InstaPlcEvent ev, sim::SimTime at) {
-    if (ev == instaplc::InstaPlcEvent::kPrimaryCyclic) last_primary_seen = at;
-    if (ev == instaplc::InstaPlcEvent::kSwitchover) {
-      switchover_latency =
-          at - app.stats().primary_last_seen.value_or(last_primary_seen);
-    }
-  });
-
-  vplc1.connect();
-  simulator.schedule_at(opts_.secondary_connect_at, [&] { vplc2.connect(); });
-  plane.schedule(scenario);
+  InstaPlcTestbed testbed{simulator, scenario, {.opts = opts_}};
+  testbed.start();
   simulator.run_until(opts_.horizon);
-
-  ScenarioOutcome out;
-  out.scenario = scenario.name;
-  out.seed = scenario.seed;
-  out.switched_over = app.switched_over();
-  out.switchover_at = app.stats().switchover_at.value_or(sim::SimTime::zero());
-  out.switchover_latency = switchover_latency;
-  out.max_output_gap = max_gap;
-  out.device_watchdog_trips = device.counters().watchdog_trips;
-  out.post_kill_deliveries = post_kill.violations();
-  out.secondary_running =
-      vplc2.state() == profinet::ControllerState::kRunning;
-  out.twin_synced = app.twin().secondary_ar().has_value();
-  out.net = network.counters();
-  out.faults = plane.counters();
-  out.residual = plane.conservation_residual();
-  if (opts_.with_obs) {
-    const std::string prom = hub.metrics().to_prometheus();
-    const std::string trace = obs::chrome_trace_json(hub.tracer());
-    out.metrics_fp = fnv1a64(prom);
-    out.trace_fp = fnv1a64(trace);
-    if (opts_.keep_exports) {
-      out.metrics_prom = prom;
-      out.trace_json = trace;
-    }
-  }
-  return out;
+  return testbed.collect();
 }
 
 std::vector<core::SweepSlot<ScenarioOutcome>> ScenarioRunner::run_sweep(

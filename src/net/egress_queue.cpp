@@ -106,18 +106,18 @@ void EgressQueue::drain() {
   if (!net.channel_idle(owner_.id(), port_)) return;  // re-drained on idle
 
   const sim::SimTime now = net.sim().now();
-  // Channel params are symmetric per link; compute duration lazily per
-  // candidate frame via a trial: we need bandwidth. We conservatively use
-  // the frame's occupancy at the channel rate; Network::transmit recomputes
-  // identically.
+  // Gate checks need the head frame's wire occupancy; the channel's link
+  // backend supplies the estimate (wired: occupancy at the channel rate,
+  // recomputed identically by Network::transmit; radio: the currently
+  // adapted rate).
   sim::SimTime best_retry = sim::SimTime::max();
   for (int pcp = static_cast<int>(kPriorities) - 1; pcp >= 0; --pcp) {
     auto& q = queues_[static_cast<std::size_t>(pcp)];
     if (q.empty()) continue;
     Frame& head = q.front();
     if (gates_ != nullptr) {
-      const sim::SimTime dur = serialization_time(
-          head.occupancy_bytes(), net.channel_rate(owner_.id(), port_));
+      const sim::SimTime dur =
+          net.serialization_estimate(owner_.id(), port_, head);
       if (!gates_->can_start(static_cast<std::uint8_t>(pcp), now, dur)) {
         const sim::SimTime t =
             gates_->next_opportunity(static_cast<std::uint8_t>(pcp), now, dur);

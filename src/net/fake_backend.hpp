@@ -1,0 +1,79 @@
+// steelnet::net -- the scriptable test driver.
+//
+// FakeBackend lets a test dictate the exact fate of every offered frame:
+// drop it under a named cause, override the serialization rate, stretch
+// the flight time -- without touching the Network, the fault plane or any
+// RNG stream. Actions are consumed in transmit order from a per-(node,
+// port) script (falling back to a global script, then to wired behavior
+// once the script is exhausted), so a test can write
+//
+//   fake.script_global({{.drop = true, .cause = "fake_drop"}, {}});
+//
+// and know frame 1 dies, frame 2 sails through, and frame 3 onward is an
+// ideal wire.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "net/link_backend.hpp"
+
+namespace steelnet::net {
+
+/// One scripted per-frame impairment. Default-constructed == behave like
+/// the ideal wire for this frame.
+struct FakeAction {
+  bool drop = false;
+  const char* cause = "fake_drop";    ///< ledger bucket when drop is set
+  std::uint64_t rate_override = 0;    ///< 0 = use LinkParams rate
+  sim::SimTime extra_propagation;     ///< added to LinkParams propagation
+};
+
+class FakeBackend final : public LinkBackend {
+ public:
+  [[nodiscard]] const char* kind() const override { return "fake"; }
+
+  /// Appends actions consumed (FIFO) by frames offered on exactly
+  /// (node, port); takes priority over the global script.
+  void script(NodeId node, PortId port, std::deque<FakeAction> actions) {
+    auto& q = scripts_[link_key(node, port)];
+    for (auto& a : actions) q.push_back(a);
+  }
+
+  /// Appends actions consumed by any frame with no per-port script left.
+  void script_global(std::deque<FakeAction> actions) {
+    for (auto& a : actions) global_.push_back(a);
+  }
+
+  [[nodiscard]] sim::SimTime serialize_estimate(NodeId node, PortId port,
+                                                const Frame& frame,
+                                                const LinkParams& params,
+                                                sim::SimTime now) override;
+  [[nodiscard]] LinkTxPlan plan_transmit(NodeId node, PortId port,
+                                         const Frame& frame,
+                                         const LinkParams& params,
+                                         sim::SimTime now) override;
+
+  [[nodiscard]] std::uint64_t frames_seen() const { return frames_seen_; }
+  [[nodiscard]] std::uint64_t frames_dropped() const {
+    return frames_dropped_;
+  }
+  /// Scripted actions not yet consumed (per-port + global).
+  [[nodiscard]] std::size_t pending_actions() const;
+
+ private:
+  static std::uint64_t link_key(NodeId node, PortId port) {
+    return (static_cast<std::uint64_t>(node) << 16) | port;
+  }
+  /// Pops the next action for (node, port): per-port script first, then
+  /// the global one, then the wired default.
+  FakeAction next_action(NodeId node, PortId port);
+
+  std::unordered_map<std::uint64_t, std::deque<FakeAction>> scripts_;
+  std::deque<FakeAction> global_;
+  std::uint64_t frames_seen_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+};
+
+}  // namespace steelnet::net

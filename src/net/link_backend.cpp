@@ -1,0 +1,16 @@
+#include "net/link_backend.hpp"
+
+namespace steelnet::net {
+
+const char* to_string(LinkErrorCode code) {
+  switch (code) {
+    case LinkErrorCode::kZeroBitRate: return "zero-bit-rate";
+    case LinkErrorCode::kBitRateTooLow: return "bit-rate-too-low";
+    case LinkErrorCode::kBadRadioConfig: return "bad-radio-config";
+    case LinkErrorCode::kUnboundStation: return "unbound-station";
+    case LinkErrorCode::kDuplicateBinding: return "duplicate-binding";
+  }
+  return "unknown";
+}
+
+}  // namespace steelnet::net

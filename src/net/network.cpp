@@ -6,18 +6,42 @@
 
 namespace steelnet::net {
 
+Network::Network(sim::Simulator& sim)
+    : sim_(sim), wired_(std::make_unique<WiredBackend>()) {}
+
+Network::~Network() = default;
+
 void Network::connect(NodeId a, PortId port_a, NodeId b, PortId port_b,
-                      LinkParams params) {
+                      LinkParams params, LinkBackend* backend) {
   if (a >= nodes_.size() || b >= nodes_.size()) {
     throw sim::SimError("Network::connect: unknown node");
   }
   if (channels_.contains(key(a, port_a)) || channels_.contains(key(b, port_b))) {
     throw sim::SimError("Network::connect: port already connected");
   }
+  if (params.bits_per_second == 0) {
+    throw LinkError(LinkErrorCode::kZeroBitRate,
+                    "Network::connect: bits_per_second must be > 0 (" +
+                        nodes_.at(a)->name() + ":p" + std::to_string(port_a) +
+                        " <-> " + nodes_.at(b)->name() + ":p" +
+                        std::to_string(port_b) + ")");
+  }
+  if (params.bits_per_second < kMinLinkBitRate) {
+    throw LinkError(LinkErrorCode::kBitRateTooLow,
+                    "Network::connect: bits_per_second " +
+                        std::to_string(params.bits_per_second) + " below " +
+                        std::to_string(kMinLinkBitRate) + " (" +
+                        nodes_.at(a)->name() + ":p" + std::to_string(port_a) +
+                        " <-> " + nodes_.at(b)->name() + ":p" +
+                        std::to_string(port_b) + ")");
+  }
+  LinkBackend* be = backend != nullptr ? backend : wired_.get();
+  be->validate_link(a, port_a, params);
+  be->validate_link(b, port_b, params);
   channels_.emplace(key(a, port_a),
-                    Channel{b, port_b, params, sim::SimTime::zero()});
+                    Channel{b, port_b, params, sim::SimTime::zero(), be});
   channels_.emplace(key(b, port_b),
-                    Channel{a, port_a, params, sim::SimTime::zero()});
+                    Channel{a, port_a, params, sim::SimTime::zero(), be});
 }
 
 bool Network::has_channel(NodeId node, PortId port) const {
@@ -38,6 +62,33 @@ std::uint64_t Network::channel_rate(NodeId node, PortId port) const {
   return it->second.params.bits_per_second;
 }
 
+LinkBackend& Network::channel_backend(NodeId node, PortId port) const {
+  const auto it = channels_.find(key(node, port));
+  if (it == channels_.end()) {
+    throw sim::SimError("Network::channel_backend: port not connected");
+  }
+  return *it->second.backend;
+}
+
+sim::SimTime Network::serialization_estimate(NodeId node, PortId port,
+                                             const Frame& frame) {
+  const auto it = channels_.find(key(node, port));
+  if (it == channels_.end()) {
+    throw sim::SimError("Network::serialization_estimate: port not connected");
+  }
+  Channel& ch = it->second;
+  return ch.backend->serialize_estimate(node, port, frame, ch.params,
+                                        sim_.now());
+}
+
+std::uint32_t Network::link_track(Channel& ch, NodeId node, PortId port) {
+  if (ch.obs_track == static_cast<std::uint32_t>(-1)) {
+    ch.obs_track = obs_->track("link:" + nodes_.at(node)->name() + ":p" +
+                               std::to_string(port));
+  }
+  return ch.obs_track;
+}
+
 sim::SimTime Network::transmit(NodeId node, PortId port, Frame frame) {
   ++counters_.frames_offered;
   const auto it = channels_.find(key(node, port));
@@ -51,20 +102,15 @@ sim::SimTime Network::transmit(NodeId node, PortId port, Frame frame) {
     throw sim::SimError("Network::transmit on busy channel from node " +
                         nodes_.at(node)->name());
   }
-  const sim::SimTime ser =
-      serialization_time(frame.occupancy_bytes(), ch.params.bits_per_second);
-  const sim::SimTime tx_done = sim_.now() + ser;
-  sim::SimTime arrival = tx_done + ch.params.propagation;
+  // Backend verdict first: it sets how long the frame occupies the medium
+  // and how long it flies, and may kill it outright (radio fade). Wired
+  // reproduces the legacy fixed-rate math exactly.
+  const LinkTxPlan plan =
+      ch.backend->plan_transmit(node, port, frame, ch.params, sim_.now());
+  const sim::SimTime tx_done = sim_.now() + plan.serialize;
+  sim::SimTime arrival = tx_done + plan.propagate;
   ch.busy_until = tx_done;
   ++ch.frames_sent;
-
-  const auto link_track = [&] {
-    if (ch.obs_track == static_cast<std::uint32_t>(-1)) {
-      ch.obs_track = obs_->track("link:" + nodes_.at(node)->name() + ":p" +
-                                 std::to_string(port));
-    }
-    return ch.obs_track;
-  };
 
   // Fault verdict before the obs link span so the span reflects the true
   // (possibly jittered/reordered) arrival, or is replaced by the fault
@@ -79,24 +125,40 @@ sim::SimTime Network::transmit(NodeId node, PortId port, Frame frame) {
     arrival += v.extra_delay;
     if (obs_ != nullptr && frame.trace_id != 0) {
       if (v.corrupted) {
-        obs_->fault_event(frame.trace_id, link_track(), sim_.now(), "corrupt");
+        obs_->fault_event(frame.trace_id, link_track(ch, node, port),
+                          sim_.now(), "corrupt");
       }
       if (v.duplicate) {
-        obs_->fault_event(frame.trace_id, link_track(), sim_.now(),
-                          "duplicate");
+        obs_->fault_event(frame.trace_id, link_track(ch, node, port),
+                          sim_.now(), "duplicate");
       }
       if (v.reordered) {
-        obs_->fault_event(frame.trace_id, link_track(), sim_.now(), "reorder");
+        obs_->fault_event(frame.trace_id, link_track(ch, node, port),
+                          sim_.now(), "reorder");
       }
       if (v.drop) {
-        obs_->fault_event(frame.trace_id, link_track(), sim_.now(), v.cause);
+        obs_->fault_event(frame.trace_id, link_track(ch, node, port),
+                          sim_.now(), v.cause);
       }
+    }
+  }
+
+  if (survives && !plan.survives) {
+    // The medium itself killed the frame. The fault plane's verdict wins
+    // when both fire (its cause was already counted above), so every
+    // offered frame still resolves to exactly one ledger bucket.
+    survives = false;
+    ++counters_.frames_dropped_backend;
+    if (obs_ != nullptr && frame.trace_id != 0) {
+      obs_->fault_event(frame.trace_id, link_track(ch, node, port), sim_.now(),
+                        plan.cause);
     }
   }
 
   if (survives) {
     if (obs_ != nullptr && frame.trace_id != 0) {
-      obs_->link_transit(frame.trace_id, link_track(), sim_.now(), arrival);
+      obs_->link_transit(frame.trace_id, link_track(ch, node, port),
+                         sim_.now(), arrival);
     }
     const NodeId peer_node = ch.peer_node;
     const PortId peer_port = ch.peer_port;
@@ -105,22 +167,30 @@ sim::SimTime Network::transmit(NodeId node, PortId port, Frame frame) {
     // pool, so steady duplication storms do not churn the allocator.
     std::optional<Frame> copy;
     if (duplicate) copy = pool_.clone(frame);
+    const std::uint64_t trace_id = frame.trace_id;
     ++counters_.frames_in_flight;
-    sim_.schedule_at(arrival, [this, peer_node, peer_port, wire,
-                               f = std::move(frame)]() mutable {
-      deliver_frame(peer_node, peer_port, wire, std::move(f));
-    });
+    ch.pending[0].trace_id = trace_id;
+    ch.pending[0].ev =
+        sim_.schedule_at(arrival, [this, peer_node, peer_port, wire,
+                                   f = std::move(frame)]() mutable {
+          deliver_frame(peer_node, peer_port, wire, std::move(f));
+        });
+    ch.pending[1] = PendingDelivery{};
     if (copy.has_value()) {
       ++counters_.frames_in_flight;
-      sim_.schedule_at(arrival, [this, peer_node, peer_port, wire,
-                                 f = std::move(*copy)]() mutable {
-        deliver_frame(peer_node, peer_port, wire, std::move(f));
-      });
+      ch.pending[1].trace_id = trace_id;
+      ch.pending[1].ev =
+          sim_.schedule_at(arrival, [this, peer_node, peer_port, wire,
+                                     f = std::move(*copy)]() mutable {
+            deliver_frame(peer_node, peer_port, wire, std::move(f));
+          });
     }
   } else {
-    // Killed on the wire (link down, loss, sender down): the payload
-    // buffer goes back to the pool once the fault ledger has seen it.
+    // Killed on the wire (link down, loss, sender down, backend): the
+    // payload buffer goes back to the pool once the ledger has seen it.
     pool_.recycle(std::move(frame));
+    ch.pending[0] = PendingDelivery{};
+    ch.pending[1] = PendingDelivery{};
   }
   // Tell the sender its channel is free again (fires after the frame's
   // last bit leaves, before/independent of delivery at the peer -- even a
@@ -129,6 +199,30 @@ sim::SimTime Network::transmit(NodeId node, PortId port, Frame frame) {
     nodes_.at(node)->on_channel_idle(port);
   });
   return tx_done;
+}
+
+std::uint64_t Network::kill_in_flight(NodeId node, PortId port,
+                                      const char* cause) {
+  const auto it = channels_.find(key(node, port));
+  if (it == channels_.end()) return 0;
+  Channel& ch = it->second;
+  if (ch.busy_until <= sim_.now()) return 0;  // nothing mid-serialization
+  std::uint64_t killed = 0;
+  for (PendingDelivery& p : ch.pending) {
+    if (!p.ev.pending()) continue;
+    // Lazy cancel: the Frame inside the event's closure is destroyed when
+    // the heap entry is reclaimed, so the buffer is freed, not pooled --
+    // deterministic either way.
+    p.ev.cancel();
+    --counters_.frames_in_flight;
+    ++killed;
+    if (obs_ != nullptr && p.trace_id != 0) {
+      obs_->fault_event(p.trace_id, link_track(ch, node, port), sim_.now(),
+                        cause);
+    }
+    p = PendingDelivery{};
+  }
+  return killed;
 }
 
 void Network::deliver_frame(NodeId peer_node, PortId peer_port,

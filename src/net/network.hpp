@@ -11,6 +11,7 @@
 
 #include "net/frame.hpp"
 #include "net/frame_pool.hpp"
+#include "net/link_backend.hpp"
 #include "net/node.hpp"
 #include "sim/simulator.hpp"
 
@@ -20,19 +21,14 @@ class ObsHub;
 
 namespace steelnet::net {
 
-/// Physical characteristics of one link (applied to both directions).
-struct LinkParams {
-  std::uint64_t bits_per_second = 1'000'000'000;  ///< 1 GbE default
-  sim::SimTime propagation = sim::nanoseconds(500);  ///< ~100 m of fiber
-};
-
 /// Aggregate per-network counters.
 ///
 /// Conservation ledger: every transmit() offer resolves to exactly one of
-/// {delivered, dropped_no_link, a FaultInjector drop cause}, plus the
-/// frames currently between wire and peer (frames_in_flight). With a
-/// fault plane attached,
+/// {delivered, dropped_no_link, a backend drop, a FaultInjector drop
+/// cause}, plus the frames currently between wire and peer
+/// (frames_in_flight). With a fault plane attached,
 ///   frames_offered + duplicates == frames_delivered + frames_dropped_no_link
+///                                  + frames_dropped_backend
 ///                                  + injector wire drops + frames_in_flight
 /// holds at every instant -- the invariant the faults test harness sweeps.
 struct NetworkCounters {
@@ -41,6 +37,9 @@ struct NetworkCounters {
   std::uint64_t frames_dropped_no_link = 0;
   std::uint64_t frames_in_flight = 0;  ///< scheduled, not yet delivered
   std::uint64_t bytes_delivered = 0;
+  /// Frames the link backend refused to carry (radio fades, scripted test
+  /// impairment). Always 0 on wired links.
+  std::uint64_t frames_dropped_backend = 0;
 };
 
 /// Owns all nodes and the channel (directed-link) table.
@@ -52,7 +51,8 @@ struct NetworkCounters {
 /// is what lets priority queueing and TSN gates reorder traffic.
 class Network {
  public:
-  explicit Network(sim::Simulator& sim) : sim_(sim) {}
+  explicit Network(sim::Simulator& sim);
+  ~Network();
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -67,15 +67,28 @@ class Network {
     return ref;
   }
 
-  /// Connects a.port_a <-> b.port_b with symmetric parameters.
+  /// Connects a.port_a <-> b.port_b with symmetric parameters. Rejects
+  /// unusable bit rates (zero or below kMinLinkBitRate) with a typed
+  /// LinkError instead of letting serialization_time divide by zero or
+  /// overflow SimTime mid-run. `backend` (not owned; must outlive the
+  /// network) drives both directions; nullptr selects the network's
+  /// built-in WiredBackend.
   void connect(NodeId a, PortId port_a, NodeId b, PortId port_b,
-               LinkParams params = {});
+               LinkParams params = {}, LinkBackend* backend = nullptr);
 
   /// True if (node, port) has an attached idle channel.
   [[nodiscard]] bool channel_idle(NodeId node, PortId port) const;
   [[nodiscard]] bool has_channel(NodeId node, PortId port) const;
   /// Channel bit rate of (node, port); throws if not connected.
   [[nodiscard]] std::uint64_t channel_rate(NodeId node, PortId port) const;
+  /// Backend driving (node, port); throws if not connected.
+  [[nodiscard]] LinkBackend& channel_backend(NodeId node, PortId port) const;
+  /// Serialization time the head frame would take on (node, port), per
+  /// the channel's backend (gate/guard-band checks). Throws if not
+  /// connected. Non-const: a backend may advance lazy deterministic
+  /// state (never its random streams) to answer.
+  [[nodiscard]] sim::SimTime serialization_estimate(NodeId node, PortId port,
+                                                    const Frame& frame);
 
   /// Starts transmitting `frame` out of (node, port).
   ///
@@ -83,6 +96,17 @@ class Network {
   /// channel_idle); callers are expected to queue otherwise. Returns the
   /// time at which the channel becomes idle again.
   sim::SimTime transmit(NodeId node, PortId port, Frame frame);
+
+  /// Kills the frame(s) still *serializing* out of (node, port) -- the
+  /// fault plane calls this when a link hard-downs mid-frame, so the cut
+  /// frame resolves to exactly one ledger cause instead of arriving off a
+  /// dead wire. Cancels the pending delivery event(s) (primary plus any
+  /// fault-plane duplicate), decrements frames_in_flight once per kill,
+  /// and emits an obs fault event per traced frame. The channel still
+  /// re-idles at the original tx_done: the NIC was occupied either way.
+  /// Returns the number of frames killed (0 when the channel is idle,
+  /// unconnected, or the frame already finished serializing).
+  std::uint64_t kill_in_flight(NodeId node, PortId port, const char* cause);
 
   [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
   [[nodiscard]] const Node& node(NodeId id) const { return *nodes_.at(id); }
@@ -128,22 +152,40 @@ class Network {
   void deliver_frame(NodeId peer_node, PortId peer_port, std::size_t wire,
                      Frame frame);
 
+  /// One not-yet-delivered frame of the current serialization window:
+  /// the cancellable delivery event plus the trace id kill_in_flight
+  /// reports to obs (the Frame itself lives inside the event's closure).
+  struct PendingDelivery {
+    sim::EventHandle ev;
+    std::uint64_t trace_id = 0;
+  };
+
   struct Channel {
     NodeId peer_node;
     PortId peer_port;
     LinkParams params;
     sim::SimTime busy_until;
+    LinkBackend* backend = nullptr;
     std::uint64_t frames_sent = 0;
     /// Cached obs::TrackId of this directed channel (interned lazily on
     /// the first traced frame; invalid until then).
     std::uint32_t obs_track = static_cast<std::uint32_t>(-1);
+    /// Deliveries scheduled by the most recent transmit (primary and an
+    /// optional fault duplicate) -- the frames a mid-serialization
+    /// hard-down can still cancel. Overwritten by the next transmit.
+    PendingDelivery pending[2];
   };
+
+  /// Interns (lazily) and returns the obs track of the directed channel.
+  std::uint32_t link_track(Channel& ch, NodeId node, PortId port);
 
   static std::uint64_t key(NodeId node, PortId port) {
     return (static_cast<std::uint64_t>(node) << 16) | port;
   }
 
   sim::Simulator& sim_;
+  /// Default driver for channels connected without an explicit backend.
+  std::unique_ptr<LinkBackend> wired_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_map<std::uint64_t, Channel> channels_;
   FramePool pool_;

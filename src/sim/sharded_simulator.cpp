@@ -50,7 +50,7 @@ void ShardedSimulator::Cell::send(std::uint32_t dst_cell,
   msg.send_ns = sim_.now().nanos();
   msg.deliver_ns = msg.send_ns + ch.latency_ns + extra_delay.nanos();
   ++msgs_sent_;
-  owner_.route(ch, msg);
+  owner_.route(ch, std::move(msg));
 }
 
 SimTime ShardedSimulator::Cell::latency_to(std::uint32_t dst_cell) const {
@@ -164,12 +164,12 @@ std::vector<std::uint32_t> ShardedSimulator::partition(
 
 // --- engine -----------------------------------------------------------------
 
-void ShardedSimulator::route(ShardChannel& channel, const ShardMsg& msg) {
+void ShardedSimulator::route(ShardChannel& channel, ShardMsg&& msg) {
   if (reference_mode_) {
-    cells_[channel.dst]->staging_.push(msg);
+    cells_[channel.dst]->staging_.push(std::move(msg));
     return;
   }
-  while (!channel.ring.try_push(msg)) {
+  while (!channel.ring.try_push(std::move(msg))) {
     // Backpressure: drain our own inbound rings while we wait, so a cycle
     // of full channels always has at least one draining consumer.
     push_spins_.fetch_add(1, std::memory_order_relaxed);

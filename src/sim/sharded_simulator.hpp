@@ -224,7 +224,11 @@ class ShardedSimulator {
     return a >= kForeverNs - b ? kForeverNs : a + b;
   }
 
-  void route(ShardChannel& channel, const ShardMsg& msg);
+  /// Hands `msg` to the destination cell's ring (or staging heap in
+  /// reference mode), moving rather than copying -- the rvalue
+  /// SpscRing::try_push leaves the message intact on a full ring so the
+  /// backpressure loop can retry it.
+  void route(ShardChannel& channel, ShardMsg&& msg);
   /// Drains every inbound ring of `c` into its staging heap.
   bool drain_inbound(Cell& c);
   /// Executes staged messages and local events of `c` strictly below

@@ -44,6 +44,20 @@ class SpscRing {
     return true;
   }
 
+  /// Rvalue producer side: moves instead of copying. The fullness check
+  /// runs *before* the move, so a false return leaves `value` intact --
+  /// which is what lets the sharded kernel's backpressure loop retry the
+  /// same message. Same acquire/release protocol as the copy overload.
+  bool try_push(T&& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == buf_.size()) {
+      return false;
+    }
+    buf_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
   /// Consumer side. Returns false when the ring is empty.
   bool try_pop(T& out) {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);

@@ -1,0 +1,116 @@
+// Wired-path compatibility pins for the LinkBackend refactor: the
+// canonical seed-1 scenario fingerprints captured before the link layer
+// moved behind a driver (any byte drift in the wire math, RNG order or
+// obs exports trips these), plus the mid-serialization hard-down ledger
+// regression (a frame cut on the wire resolves to exactly one cause and
+// the channel re-idles).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_plane.hpp"
+#include "faults/scenario_runner.hpp"
+#include "net/host_node.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace steelnet::faults {
+namespace {
+
+using namespace steelnet::sim::literals;
+
+TEST(WireCompat, GoldenScenarioFingerprintsUnchanged) {
+  const ScenarioRunner runner;
+  const struct {
+    FaultScenario scenario;
+    std::uint64_t fp;
+  } pins[] = {
+      {silent_primary_scenario(1), 11076629587395333067ull},
+      {loss_burst_scenario(1), 14574447445325554356ull},
+      {link_flap_scenario(1), 17955605353418343649ull},
+      {primary_crash_scenario(1), 10607330835920079580ull},
+  };
+  for (const auto& pin : pins) {
+    const ScenarioOutcome outcome = runner.run(pin.scenario);
+    EXPECT_EQ(outcome.fingerprint(), pin.fp) << pin.scenario.name;
+    EXPECT_EQ(outcome.residual, 0) << pin.scenario.name;
+  }
+}
+
+TEST(WireCompat, HardDownMidSerializationResolvesToOneCause) {
+  sim::Simulator simulator;
+  net::Network network{simulator};
+  auto* a = &network.add_node<net::HostNode>("a", net::MacAddress{0xA});
+  auto* b = &network.add_node<net::HostNode>("b", net::MacAddress{0xB});
+  FaultPlane plane{network, 7};
+  // 1 Mbit/s: the 84-byte wire frame serializes for 672 us, leaving a
+  // wide window to hard-down the link mid-frame.
+  network.connect(a->id(), 0, b->id(), 0, net::LinkParams{1'000'000, 500_ns});
+  network.set_faults(&plane);
+  std::vector<sim::SimTime> rx;
+  b->set_receiver([&](net::Frame, sim::SimTime at) { rx.push_back(at); });
+
+  const auto send = [&] {
+    net::Frame f;
+    f.dst = net::MacAddress{0xB};
+    f.payload.resize(46);
+    a->send(std::move(f));
+  };
+  simulator.schedule_at(sim::SimTime::zero(), send);
+  // The flap lives entirely inside the serialization window [0, 672 us]:
+  // by the time the wire is notionally back up, the cut frame must be
+  // dead -- not delivered off the briefly-downed link.
+  simulator.schedule_at(300_us,
+                        [&] { plane.set_link_down(a->id(), 0, true); });
+  simulator.schedule_at(400_us,
+                        [&] { plane.set_link_down(a->id(), 0, false); });
+  // And after the NIC frees up the channel must carry traffic again.
+  simulator.schedule_at(1_ms, send);
+  simulator.run();
+
+  ASSERT_EQ(rx.size(), 1u);
+  EXPECT_EQ(rx.front(), 1_ms + 672_us + 500_ns);
+
+  // Exactly one ledger cause for the cut frame, nothing in flight, and a
+  // balanced ledger: offered(2) == delivered(1) + dropped_link_down(1).
+  EXPECT_EQ(network.counters().frames_offered, 2u);
+  EXPECT_EQ(network.counters().frames_delivered, 1u);
+  EXPECT_EQ(network.counters().frames_in_flight, 0u);
+  EXPECT_EQ(plane.counters().dropped_link_down, 1u);
+  EXPECT_EQ(plane.conservation_residual(), 0);
+  EXPECT_TRUE(network.channel_idle(a->id(), 0));
+}
+
+TEST(WireCompat, FlapAfterSerializationLetsTheFrameThrough) {
+  // Control case: the same flap strictly after tx_done must not touch the
+  // frame already in flight (propagation delay stretched past the flap).
+  sim::Simulator simulator;
+  net::Network network{simulator};
+  auto* a = &network.add_node<net::HostNode>("a", net::MacAddress{0xA});
+  auto* b = &network.add_node<net::HostNode>("b", net::MacAddress{0xB});
+  FaultPlane plane{network, 7};
+  network.connect(a->id(), 0, b->id(), 0, net::LinkParams{1'000'000, 2_ms});
+  network.set_faults(&plane);
+  std::vector<sim::SimTime> rx;
+  b->set_receiver([&](net::Frame, sim::SimTime at) { rx.push_back(at); });
+
+  simulator.schedule_at(sim::SimTime::zero(), [&] {
+    net::Frame f;
+    f.dst = net::MacAddress{0xB};
+    f.payload.resize(46);
+    a->send(std::move(f));
+  });
+  simulator.schedule_at(1_ms, [&] { plane.set_link_down(a->id(), 0, true); });
+  simulator.schedule_at(1500_us,
+                        [&] { plane.set_link_down(a->id(), 0, false); });
+  simulator.run();
+
+  ASSERT_EQ(rx.size(), 1u);
+  EXPECT_EQ(rx.front(), 672_us + 2_ms);
+  EXPECT_EQ(plane.counters().dropped_link_down, 0u);
+  EXPECT_EQ(plane.conservation_residual(), 0);
+}
+
+}  // namespace
+}  // namespace steelnet::faults

@@ -1,0 +1,82 @@
+// SpscRing move semantics: the rvalue try_push overload used by the
+// sharded kernel's route() must move on success and leave the value
+// intact on a full-ring refusal (the backpressure loop retries the same
+// message), under the unchanged acquire/release protocol -- the threaded
+// soak below is what the TSan preset sweeps.
+#include "sim/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+namespace steelnet::sim {
+namespace {
+
+TEST(SpscRing, RvaluePushMovesThePayload) {
+  SpscRing<std::unique_ptr<int>> ring{4};
+  auto msg = std::make_unique<int>(42);
+  EXPECT_TRUE(ring.try_push(std::move(msg)));
+  EXPECT_EQ(msg, nullptr);  // moved out, not copied
+
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRing, RefusedRvaluePushLeavesTheMessageIntact) {
+  SpscRing<std::unique_ptr<int>> ring{2};
+  ASSERT_EQ(ring.capacity(), 2u);
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(1)));
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(2)));
+
+  auto msg = std::make_unique<int>(3);
+  EXPECT_FALSE(ring.try_push(std::move(msg)));
+  // The fullness check ran before the move: the producer still owns the
+  // message and can retry it after draining.
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(*msg, 3);
+
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(*out, 1);
+  EXPECT_TRUE(ring.try_push(std::move(msg)));
+  EXPECT_EQ(msg, nullptr);
+}
+
+TEST(SpscRing, MoveOnlyPayloadsSurviveTwoThreads) {
+  constexpr std::uint64_t kMessages = 10'000;
+  SpscRing<std::unique_ptr<std::uint64_t>> ring{64};
+
+  std::uint64_t received = 0;
+  std::uint64_t sum = 0;
+  std::thread consumer{[&] {
+    std::unique_ptr<std::uint64_t> out;
+    while (received < kMessages) {
+      if (ring.try_pop(out)) {
+        sum += *out;
+        ++received;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }};
+
+  for (std::uint64_t i = 1; i <= kMessages; ++i) {
+    auto msg = std::make_unique<std::uint64_t>(i);
+    while (!ring.try_push(std::move(msg))) {
+      // Backpressure: the refused push left `msg` intact; retry it.
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+
+  EXPECT_EQ(received, kMessages);
+  EXPECT_EQ(sum, kMessages * (kMessages + 1) / 2);
+}
+
+}  // namespace
+}  // namespace steelnet::sim
