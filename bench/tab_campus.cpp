@@ -19,14 +19,26 @@
 //   --metrics <file>  Prometheus dump of the (first) run
 //   --trace <file>    Chrome-trace JSON of the (first) run
 //   --bench-json <f>  the BIG campus (240 cells x 48 devices ~ 11.5k
-//                     PROFINET endpoints) over a shard ladder {1,2,4,8},
-//                     frames/sec headline per rung, written as a
-//                     google-benchmark-style JSON artifact
+//                     PROFINET endpoints) over a shard ladder {1,2,4,8};
+//                     the shards=1 rung doubles as the calibration run
+//                     whose measured profile drives a second, profile-
+//                     guided pass over shards {2,4,8} -- so each threaded
+//                     rung appears twice (prefix vs measured placement),
+//                     with per-rung partition map / per-shard loads /
+//                     imbalance recorded for post-hoc diagnosis
 //   --scale <n>       override the big campus cell count (default 240)
+//   --skew            hot-zone variant: the first quarter of the cells
+//                     runs 4x cyclic rate + fault storms (the workload
+//                     the measured-rate partitioner exists for)
+//   --partitioner <prefix|measured>  placement strategy of the run
+//   --profile-out <f> write the (first) run's measured cell-rate profile
+//   --profile-in <f>  feed a calibration profile back; implies the
+//                     measured partitioner unless --partitioner prefix
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,10 +47,12 @@
 #include "core/report.hpp"
 #include "core/sweep_runner.hpp"
 #include "net/campus.hpp"
+#include "sim/partitioner.hpp"
 
 namespace {
 
 using steelnet::net::CampusOptions;
+using steelnet::net::CampusPartitioner;
 using steelnet::net::CampusResult;
 
 std::string hex16(std::uint64_t v) {
@@ -90,6 +104,37 @@ Totals totals_of(const CampusResult& r) {
   return t;
 }
 
+steelnet::sim::RateProfile load_profile(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    std::cerr << "tab_campus: cannot read profile '" << path << "'\n";
+    std::exit(2);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return steelnet::sim::RateProfile::parse(text.str());
+}
+
+void write_profile(const std::string& path,
+                   const steelnet::sim::RateProfile& profile) {
+  std::ofstream out{path};
+  out << profile.to_text();
+  std::cerr << "tab_campus: wrote profile " << path << " ("
+            << profile.cells.size() << " cells)\n";
+}
+
+/// JSON array of an integer vector, e.g. "[3,1,0]".
+template <typename V>
+std::string json_array(const V& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(v[i]);
+  }
+  out += "]";
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -98,66 +143,145 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv, /*default_seed=*/1);
 
   // --- big-campus shard ladder -> BENCH_campus.json ------------------------
+  //
+  // The shards=1 rung doubles as the calibration run: its measured
+  // profile drives a second, profile-guided pass over shards {2,4,8}, so
+  // every threaded rung appears twice (prefix vs measured placement).
+  // All fingerprints must be identical -- placement must never leak into
+  // artifacts -- and under --skew the measured pass must beat prefix on
+  // the max/mean load ratio (asserted; wall clock is recorded but only
+  // meaningful on multi-core hosts).
   if (args.bench_json_path.has_value()) {
-    const std::vector<std::size_t> ladder = {1, 2, 4, 8};
     struct Rung {
       std::size_t shards;
+      const char* strategy;
       double wall_s;
       double frames_per_s;
       std::uint64_t fp;
       std::uint64_t events;
       std::uint64_t delivered;
+      std::uint64_t imbalance_permille;
+      std::vector<std::uint32_t> partition;
+      std::vector<std::uint64_t> shard_events;
     };
     std::vector<Rung> rungs;
-    std::size_t devices_total = 0;
-    for (const std::size_t sh : ladder) {
+    sim::RateProfile calibration;
+    const auto run_rung = [&](std::size_t sh, bool measured) {
       CampusOptions opt = big_options(args.seed, args.scale);
       opt.shards = sh;
-      devices_total = opt.cells * opt.devices_per_cell;
+      opt.skew = args.skew;
+      if (measured) {
+        opt.partitioner = CampusPartitioner::kMeasuredRate;
+        opt.measured_weights = calibration.weights();
+      }
       const CampusResult r = net::run_campus(opt);
       const Totals t = totals_of(r);
-      rungs.push_back({sh, r.stats.wall_seconds,
+      rungs.push_back({sh, measured ? "measured" : "prefix",
+                       r.stats.wall_seconds,
                        r.stats.wall_seconds > 0.0
                            ? static_cast<double>(t.frames_delivered) /
                                  r.stats.wall_seconds
                            : 0.0,
-                       r.fingerprint(), r.stats.events, t.frames_delivered});
-      std::fprintf(stderr, "tab_campus: shards=%zu wall=%.2fs fp=%s\n", sh,
-                   r.stats.wall_seconds, hex16(r.fingerprint()).c_str());
-      if (rungs.front().fp != rungs.back().fp) {
+                       r.fingerprint(), r.stats.events, t.frames_delivered,
+                       r.imbalance_permille, r.partition, r.shard_events});
+      std::fprintf(stderr,
+                   "tab_campus: shards=%zu partitioner=%s wall=%.2fs "
+                   "imbalance=%" PRIu64 " fp=%s\n",
+                   sh, rungs.back().strategy, r.stats.wall_seconds,
+                   r.imbalance_permille, hex16(r.fingerprint()).c_str());
+      if (sh == 1 && !measured) calibration = r.profile;
+      return rungs.front().fp == rungs.back().fp;
+    };
+    for (const std::size_t sh : {1, 2, 4, 8}) {
+      if (!run_rung(sh, /*measured=*/false)) {
         std::cerr << "tab_campus: artifact fingerprint diverged at shards="
                   << sh << " -- determinism bug\n";
         return 1;
       }
     }
+    for (const std::size_t sh : {2, 4, 8}) {
+      if (!run_rung(sh, /*measured=*/true)) {
+        std::cerr << "tab_campus: measured partition changed artifacts at "
+                  << "shards=" << sh << " -- determinism bug\n";
+        return 1;
+      }
+    }
+    if (args.profile_out_path.has_value()) {
+      write_profile(*args.profile_out_path, calibration);
+    }
+    const auto rung_at = [&](std::size_t sh, const char* strategy) {
+      for (const Rung& r : rungs) {
+        if (r.shards == sh && std::string(r.strategy) == strategy) return &r;
+      }
+      return static_cast<const Rung*>(nullptr);
+    };
+    if (args.skew) {
+      // The headline claim of the skewed ladder: measured placement must
+      // balance what prefix-quota cannot. (Deterministic, so assertable
+      // even on one core, unlike wall clock.)
+      const Rung* p8 = rung_at(8, "prefix");
+      const Rung* m8 = rung_at(8, "measured");
+      if (p8 != nullptr && m8 != nullptr &&
+          m8->imbalance_permille >= p8->imbalance_permille) {
+        std::cerr << "tab_campus: measured partitioner did not improve the "
+                  << "load ratio at shards=8 (prefix=" << p8->imbalance_permille
+                  << " measured=" << m8->imbalance_permille << ")\n";
+        return 1;
+      }
+    }
+
+    const CampusOptions copt = big_options(args.seed, args.scale);
     std::ofstream out{*args.bench_json_path};
     out << "{\n  \"bench\": \"campus_shard_scaling\",\n"
-        << "  \"context\": {\"cells\": " << big_options(args.seed,
-                                                        args.scale).cells
-        << ", \"devices\": " << devices_total
-        << ", \"horizon_ms\": 250, \"seed\": " << args.seed
+        << "  \"context\": {\"cells\": " << copt.cells
+        << ", \"devices\": " << copt.cells * copt.devices_per_cell
+        << ", \"horizon_ms\": " << copt.horizon.nanos() / 1'000'000
+        << ", \"seed\": " << args.seed
+        << ", \"skew\": " << (args.skew ? "true" : "false")
         << ", \"hardware_concurrency\": "
         << std::thread::hardware_concurrency() << "},\n  \"points\": [\n";
     for (std::size_t i = 0; i < rungs.size(); ++i) {
       const Rung& r = rungs[i];
-      char line[256];
+      char line[320];
       std::snprintf(line, sizeof(line),
-                    "    {\"shards\": %zu, \"wall_s\": %.3f, "
-                    "\"frames_per_s\": %.1f, \"events\": %" PRIu64
-                    ", \"frames_delivered\": %" PRIu64
-                    ", \"artifact_fp\": \"%s\"}%s\n",
-                    r.shards, r.wall_s, r.frames_per_s, r.events, r.delivered,
-                    hex16(r.fp).c_str(), i + 1 < rungs.size() ? "," : "");
-      out << line;
+                    "    {\"shards\": %zu, \"partitioner\": \"%s\", "
+                    "\"wall_s\": %.3f, \"frames_per_s\": %.1f, "
+                    "\"events\": %" PRIu64 ", \"frames_delivered\": %" PRIu64
+                    ", \"imbalance_permille\": %" PRIu64
+                    ", \"artifact_fp\": \"%s\",\n",
+                    r.shards, r.strategy, r.wall_s, r.frames_per_s, r.events,
+                    r.delivered, r.imbalance_permille, hex16(r.fp).c_str());
+      out << line << "     \"shard_events\": " << json_array(r.shard_events)
+          << ",\n     \"partition\": " << json_array(r.partition) << "}"
+          << (i + 1 < rungs.size() ? "," : "") << "\n";
     }
     const double base = rungs.front().wall_s;
     out << "  ],\n  \"speedup\": {";
-    for (std::size_t i = 0; i < rungs.size(); ++i) {
+    bool first = true;
+    for (const Rung& r : rungs) {
+      if (std::string(r.strategy) != "prefix") continue;
       char cell[64];
       std::snprintf(cell, sizeof(cell), "%s\"%zu\": %.2f",
-                    i == 0 ? "" : ", ", rungs[i].shards,
-                    rungs[i].wall_s > 0.0 ? base / rungs[i].wall_s : 0.0);
+                    first ? "" : ", ", r.shards,
+                    r.wall_s > 0.0 ? base / r.wall_s : 0.0);
       out << cell;
+      first = false;
+    }
+    out << "},\n  \"measured_vs_prefix\": {";
+    first = true;
+    for (const std::size_t sh : {2, 4, 8}) {
+      const Rung* p = rung_at(sh, "prefix");
+      const Rung* m = rung_at(sh, "measured");
+      if (p == nullptr || m == nullptr) continue;
+      char cell[192];
+      std::snprintf(cell, sizeof(cell),
+                    "%s\"%zu\": {\"wall_prefix_s\": %.3f, "
+                    "\"wall_measured_s\": %.3f, \"imbalance_prefix\": %" PRIu64
+                    ", \"imbalance_measured\": %" PRIu64 "}",
+                    first ? "" : ", ", sh, p->wall_s, m->wall_s,
+                    p->imbalance_permille, m->imbalance_permille);
+      out << cell;
+      first = false;
     }
     out << "},\n  \"artifacts_identical\": true\n}\n";
     std::cout << "wrote " << *args.bench_json_path << "\n";
@@ -175,6 +299,7 @@ int main(int argc, char** argv) {
               opt.devices_per_cell = 3;
               opt.horizon = sim::milliseconds(80);
               opt.shards = shards;
+              opt.skew = args.skew;
               const CampusResult r = net::run_campus(opt);
               return std::pair<std::uint64_t, Totals>{r.fingerprint(),
                                                       totals_of(r)};
@@ -201,11 +326,26 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> shard_counts =
       args.shards != 0 ? std::vector<std::size_t>{args.shards}
                        : std::vector<std::size_t>{1, 8};
+  sim::RateProfile profile_in;
+  if (args.profile_in_path.has_value()) {
+    profile_in = load_profile(*args.profile_in_path);
+  }
   std::vector<CampusResult> results;
   for (const std::size_t sh : shard_counts) {
     CampusOptions opt = table_options(args.seed);
     opt.shards = sh;
+    opt.skew = args.skew;
+    if (args.wants_measured_partition()) {
+      opt.partitioner = CampusPartitioner::kMeasuredRate;
+      opt.measured_weights = profile_in.weights();
+    }
     results.push_back(net::run_campus(opt));
+    std::fprintf(stderr,
+                 "tab_campus: shards=%zu imbalance_permille=%" PRIu64 "\n", sh,
+                 results.back().imbalance_permille);
+  }
+  if (args.profile_out_path.has_value()) {
+    write_profile(*args.profile_out_path, results.front().profile);
   }
 
   if (args.metrics_path.has_value()) {

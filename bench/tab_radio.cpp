@@ -20,10 +20,16 @@
 //   --bench-json <f>  the SNR-ladder degradation curve (worst output gap
 //                     vs watchdog bound per rung, per scenario family) as
 //                     a JSON benchmark artifact
+//   --profile-out <f> write the (first) run's measured cell-rate profile
+//   --profile-in <f>  feed a calibration profile back (the SNR ladder is
+//                     naturally skewed: dead rungs run far fewer events
+//                     than healthy ones); implies the measured-rate
+//                     partitioner unless --partitioner prefix
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -31,6 +37,7 @@
 #include "core/report.hpp"
 #include "core/sweep_runner.hpp"
 #include "net/radio_floor.hpp"
+#include "sim/partitioner.hpp"
 
 namespace {
 
@@ -44,10 +51,17 @@ std::string hex16(std::uint64_t v) {
   return buf;
 }
 
+steelnet::sim::RateProfile g_profile_in;
+bool g_measured = false;
+
 RadioFloorOptions floor_options(std::uint64_t seed, std::size_t shards) {
   RadioFloorOptions opt;
   opt.seed = seed;
   opt.shards = shards;
+  if (g_measured) {
+    opt.measured_partition = true;
+    opt.measured_weights = g_profile_in.weights();
+  }
   return opt;
 }
 
@@ -57,6 +71,18 @@ int main(int argc, char** argv) {
   using namespace steelnet;
 
   const auto args = bench::BenchArgs::parse(argc, argv, /*default_seed=*/1);
+  if (args.profile_in_path.has_value()) {
+    std::ifstream in{*args.profile_in_path};
+    if (!in) {
+      std::cerr << "tab_radio: cannot read profile '" << *args.profile_in_path
+                << "'\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    g_profile_in = sim::RateProfile::parse(text.str());
+  }
+  g_measured = args.wants_measured_partition();
 
   // --- SNR-ladder degradation curve -> BENCH_radio.json ---------------------
   if (args.bench_json_path.has_value()) {
@@ -65,12 +91,19 @@ int main(int argc, char** argv) {
                                                           ? 8
                                                           : args.shards));
     const bool monotone = net::degradation_monotone(r);
+    if (args.profile_out_path.has_value()) {
+      std::ofstream{*args.profile_out_path} << r.profile.to_text();
+      std::cout << "wrote " << *args.profile_out_path << "\n";
+    }
     std::ofstream out{*args.bench_json_path};
     out << "{\n  \"bench\": \"radio_snr_degradation\",\n"
         << "  \"context\": {\"seed\": " << args.seed
         << ", \"horizon_ns\": " << r.horizon_ns
         << ", \"watchdog_bound_ns\": " << r.watchdog_bound_ns
-        << ", \"cells\": " << r.cells.size() << "},\n  \"points\": [\n";
+        << ", \"cells\": " << r.cells.size() << ", \"partitioner\": \""
+        << (g_measured ? "measured" : "prefix")
+        << "\", \"imbalance_permille\": " << r.imbalance_permille
+        << "},\n  \"points\": [\n";
     bool first = true;
     for (const RadioCellReport& c : r.cells) {
       char line[320];
@@ -153,6 +186,17 @@ int main(int argc, char** argv) {
   }
   if (args.trace_path.has_value()) {
     std::ofstream{*args.trace_path} << results.front().to_chrome_trace();
+  }
+  if (args.profile_out_path.has_value()) {
+    std::ofstream{*args.profile_out_path} << results.front().profile.to_text();
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    // Placement diagnostics go to stderr so the CSV byte stream on
+    // stdout stays the CI-compared artifact.
+    std::cerr << "tab_radio: shards=" << shard_counts[i]
+              << " partitioner=" << (g_measured ? "measured" : "prefix")
+              << " imbalance_permille=" << results[i].imbalance_permille
+              << "\n";
   }
 
   if (args.csv) {

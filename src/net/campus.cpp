@@ -193,8 +193,23 @@ CampusResult run_campus(const CampusOptions& opt) {
   if (opt.cells == 0) throw sim::SimError("run_campus: cells must be >= 1");
   sim::ShardedSimulator ss;
   ss.set_record_fire_log(opt.record_fire_log);
+  // Declared weights stay uniform even under skew -- skew exists to make
+  // the up-front guess wrong, so only a measured profile can fix it.
   for (std::size_t i = 0; i < opt.cells; ++i) {
     ss.add_cell(cell_name(i), opt.devices_per_cell);
+  }
+  const std::size_t hot_cells = opt.skew ? std::max<std::size_t>(1, opt.cells / 4) : 0;
+
+  static const sim::LptPartitioner kMeasuredStrategy;
+  if (opt.partitioner == CampusPartitioner::kMeasuredRate) {
+    if (opt.measured_weights.empty()) {
+      throw sim::PartitionError(
+          sim::PartitionErrorCode::kProfileMismatch,
+          "run_campus: measured-rate partitioner needs measured_weights "
+          "(run a calibration pass and feed its profile back)");
+    }
+    ss.set_partitioner(&kMeasuredStrategy);
+    ss.set_measured_weights(opt.measured_weights);
   }
 
   // Ring backbone with chords: cell i reports to (i+1 .. i+degree) mod n.
@@ -218,7 +233,15 @@ CampusResult run_campus(const CampusOptions& opt) {
     sim::ShardedSimulator::Cell& cell = ss.cell(static_cast<std::uint32_t>(i));
     auto plant = std::make_unique<CellPlant>(cell.sim());
     plant->report_dsts = dsts[i];
-    build_cell(cell, *plant, opt, root.derive(cell.name()));
+    // Hot cells of the skew zone: 4x cyclic rate and a fault storm,
+    // concentrated in the leading quarter so a contiguous equal-weight
+    // split piles them onto the first shards.
+    CampusOptions eff = opt;
+    if (i < hot_cells) {
+      eff.cycle = sim::SimTime{std::max<std::int64_t>(opt.cycle.nanos() / 4, 1)};
+      eff.faults = true;
+    }
+    build_cell(cell, *plant, eff, root.derive(cell.name()));
     CellPlant* p = plant.get();
     // Inbound report: rebuild the frame from *this* cell's pool (the
     // allocation-free cross-shard handoff) and inject it at the gateway.
@@ -245,6 +268,16 @@ CampusResult run_campus(const CampusOptions& opt) {
   result.horizon_ns = opt.horizon.nanos();
   result.stats = ss.run(opt.horizon, opt.shards);
 
+  // Placement diagnostics: judge whatever partition ran by the rates the
+  // run actually measured. Diagnostic-only -- never rendered into the
+  // fingerprinted artifacts, which must stay placement-invariant.
+  result.partition = ss.partition_map();
+  result.profile = ss.rate_profile();
+  const sim::PartitionStats pstats =
+      sim::partition_stats(result.profile.weights(), result.partition);
+  result.shard_events = pstats.shard_load;
+  result.imbalance_permille = pstats.imbalance_permille();
+
   result.cells.reserve(opt.cells);
   for (std::size_t i = 0; i < opt.cells; ++i) {
     sim::ShardedSimulator::Cell& cell = ss.cell(static_cast<std::uint32_t>(i));
@@ -253,6 +286,7 @@ CampusResult run_campus(const CampusOptions& opt) {
     r.cell = static_cast<std::uint32_t>(i);
     r.name = cell.name();
     r.events_executed = cell.sim().events_executed();
+    r.msgs_delivered = cell.msgs_delivered();
     for (const auto& c : p.controllers) {
       r.cyclic_tx += c->counters().cyclic_tx;
       r.cyclic_rx += c->counters().cyclic_rx;
@@ -325,6 +359,12 @@ std::string CampusResult::to_prometheus() const {
         static_cast<std::uint64_t>(r.report_latency_ns_total);
     reg.make_counter({r.name, "campus", "outage_ns_total"}) +=
         static_cast<std::uint64_t>(r.outage_ns_total);
+    // The per-cell load-rate gauge: the same events + delivered-messages
+    // sum a RateProfile row folds to, so a scrape of this family *is* a
+    // calibration profile. Deterministic (both terms are part of the
+    // determinism contract), hence safe inside the fingerprinted export.
+    reg.make_gauge({r.name, "campus", "load_rate"})
+        .set(static_cast<double>(r.events_executed + r.msgs_delivered));
   }
   return reg.to_prometheus();
 }

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/partitioner.hpp"
 #include "sim/sharded_simulator.hpp"
 #include "sim/time.hpp"
 
@@ -29,6 +30,13 @@ namespace steelnet::net {
 
 /// ShardMsg.kind of an inter-cell telemetry report.
 inline constexpr std::uint32_t kCampusReportMsg = 1;
+
+/// Placement strategy for the campus run. Placement decides wall-clock
+/// only; artifacts are byte-identical under either choice.
+enum class CampusPartitioner : std::uint8_t {
+  kPrefixQuota,   ///< contiguous walk over declared weights (the default)
+  kMeasuredRate,  ///< LPT bin-pack over `measured_weights` (profile-guided)
+};
 
 struct CampusOptions {
   std::size_t cells = 8;
@@ -48,6 +56,18 @@ struct CampusOptions {
   /// cell id).
   bool faults = false;
   bool record_fire_log = false;
+  /// Skewed-load mode: the first quarter of the cells (at least one) runs
+  /// at a 4x cyclic rate with fault storms enabled, while declared cell
+  /// weights stay uniform -- the workload the static prefix-quota
+  /// partition is deliberately wrong about, and the profile-guided one
+  /// fixes. The hot zone is contiguous so it lands on few shards under a
+  /// contiguous equal-weight split.
+  bool skew = false;
+  CampusPartitioner partitioner = CampusPartitioner::kPrefixQuota;
+  /// Measured per-cell rates (one per cell, e.g. RateProfile::weights()
+  /// of a calibration run). Required non-empty with kMeasuredRate;
+  /// run_campus throws sim::PartitionError{kProfileMismatch} otherwise.
+  std::vector<std::uint64_t> measured_weights;
 };
 
 /// Deterministic per-cell outcome -- the only state artifacts are
@@ -56,6 +76,7 @@ struct CellReport {
   std::uint32_t cell = 0;
   std::string name;
   std::uint64_t events_executed = 0;
+  std::uint64_t msgs_delivered = 0;  ///< cross-shard reports handled here
   // PROFINET plane (summed over the cell's controllers/devices).
   std::uint64_t cyclic_tx = 0;
   std::uint64_t cyclic_rx = 0;
@@ -92,6 +113,17 @@ struct CampusResult {
   std::vector<CellReport> cells;
   sim::ShardRunStats stats;  ///< rounds/spins/wall are timing-dependent
   std::int64_t horizon_ns = 0;
+
+  // Placement diagnostics. The partition map and per-shard loads depend
+  // on the shard count and partitioner choice, so they are reported here
+  // (and in bench JSON) but NEVER rendered into the fingerprinted
+  // artifacts below -- those must stay invariant to placement.
+  std::vector<std::uint32_t> partition;    ///< cell -> shard of this run
+  std::vector<std::uint64_t> shard_events; ///< measured load per shard
+  std::uint64_t imbalance_permille = 0;    ///< max/mean load, 1000 = balanced
+  /// Measured per-cell rates (deterministic) -- the `--profile-out`
+  /// payload whose weights() feed a later run's measured partition.
+  sim::RateProfile profile;
 
   /// Prometheus text exposition of every per-cell counter, path-ordered.
   [[nodiscard]] std::string to_prometheus() const;

@@ -147,7 +147,27 @@ RadioFloorResult run_radio_floor(const RadioFloorOptions& opt) {
   bound_opts.io_cycle = opt.io_cycle;
   result.watchdog_bound_ns = faults::switchover_bound(bound_opts).nanos();
   result.io_cycle_ns = opt.io_cycle.nanos();
+
+  static const sim::LptPartitioner kMeasuredStrategy;
+  if (opt.measured_partition) {
+    if (opt.measured_weights.empty()) {
+      throw sim::PartitionError(
+          sim::PartitionErrorCode::kProfileMismatch,
+          "run_radio_floor: measured partition needs measured_weights");
+    }
+    ss.set_partitioner(&kMeasuredStrategy);
+    ss.set_measured_weights(opt.measured_weights);
+  }
   result.stats = ss.run(opt.horizon, opt.shards);
+
+  // Placement diagnostics, judged by the rates this run measured.
+  // Diagnostic-only: excluded from the fingerprinted artifacts.
+  result.partition = ss.partition_map();
+  result.profile = ss.rate_profile();
+  const sim::PartitionStats pstats =
+      sim::partition_stats(result.profile.weights(), result.partition);
+  result.shard_events = pstats.shard_load;
+  result.imbalance_permille = pstats.imbalance_permille();
 
   result.cells.reserve(floor_cells.size());
   for (std::size_t i = 0; i < floor_cells.size(); ++i) {
@@ -250,6 +270,11 @@ std::string RadioFloorResult::to_prometheus() const {
     add("disassoc_events", r.disassoc_events);
     add("rate_avg_bps", r.rate_avg_bps);
     add("drop_permille", r.drop_permille());
+    // Per-cell load-rate gauge (the calibration-profile weight). Radio
+    // cells exchange no cross-shard messages, so it is just the event
+    // count -- deterministic, hence safe in the fingerprinted export.
+    reg.make_gauge({r.name, "radio", "load_rate"})
+        .set(static_cast<double>(r.events_executed));
   }
   return reg.to_prometheus();
 }

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/partitioner.hpp"
 #include "sim/sharded_simulator.hpp"
 #include "sim/time.hpp"
 
@@ -37,6 +38,13 @@ struct RadioFloorOptions {
   /// Silent I/O cycles before the in-network monitor switches over.
   std::uint16_t switchover_cycles = 3;
   sim::SimTime io_cycle = sim::milliseconds(2);
+  /// Placement strategy (same semantics as CampusOptions): prefix-quota
+  /// over uniform declared weights, or LPT over `measured_weights`. The
+  /// SNR ladder is naturally skewed -- dead rungs execute far fewer
+  /// events than healthy ones -- so a calibration profile has real
+  /// signal here. Artifacts are byte-identical under either choice.
+  bool measured_partition = false;
+  std::vector<std::uint64_t> measured_weights;
 };
 
 /// Deterministic per-cell outcome -- the only state artifacts are
@@ -88,6 +96,13 @@ struct RadioFloorResult {
   std::vector<RadioCellReport> cells;
   sim::ShardRunStats stats;  ///< rounds/spins/wall are timing-dependent
   std::int64_t horizon_ns = 0;
+
+  // Placement diagnostics -- shard-count dependent, never rendered into
+  // the fingerprinted artifacts (same contract as CampusResult).
+  std::vector<std::uint32_t> partition;    ///< cell -> shard of this run
+  std::vector<std::uint64_t> shard_events; ///< measured load per shard
+  std::uint64_t imbalance_permille = 0;    ///< max/mean load, 1000 = balanced
+  sim::RateProfile profile;                ///< measured per-cell rates
   /// (switchover_cycles + 1) x io_cycle -- the wired watchdog bound the
   /// degradation curve is measured against.
   std::int64_t watchdog_bound_ns = 0;

@@ -128,38 +128,23 @@ ShardedSimulator::Cell& ShardedSimulator::cell(std::uint32_t id) {
 
 std::vector<std::uint32_t> ShardedSimulator::partition(
     const std::vector<std::uint64_t>& weights, std::size_t shards) {
-  const std::size_t n = weights.size();
+  // The algorithm lives in PrefixQuotaPartitioner now; this static
+  // keeps the original signature and its ShardingError contract.
   if (shards == 0) {
     throw ShardingError(ShardingErrorCode::kBadShardCount,
                         "partition: shards must be >= 1");
   }
-  if (n == 0) return {};
-  shards = std::min(shards, n);
-  std::uint64_t total = 0;
-  for (const std::uint64_t w : weights) total += std::max<std::uint64_t>(w, 1);
+  return PrefixQuotaPartitioner{}.assign(weights, shards);
+}
 
-  std::vector<std::uint32_t> out(n);
-  std::uint64_t prefix = 0;
-  std::uint32_t s = 0;
-  std::size_t count_in_s = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (s + 1 < shards && count_in_s > 0) {
-      // Close the current group when its weight quota is met, or when the
-      // remaining cells are only just enough to keep every later group
-      // nonempty.
-      const bool quota_met =
-          prefix * shards >= total * (static_cast<std::uint64_t>(s) + 1);
-      const bool must_advance = n - i <= shards - 1 - s;
-      if (quota_met || must_advance) {
-        ++s;
-        count_in_s = 0;
-      }
-    }
-    out[i] = s;
-    ++count_in_s;
-    prefix += std::max<std::uint64_t>(weights[i], 1);
+RateProfile ShardedSimulator::rate_profile() const {
+  RateProfile profile;
+  profile.cells.reserve(cells_.size());
+  for (const auto& c : cells_) {
+    profile.cells.push_back(
+        {c->name_, c->sim_.events_executed(), c->msgs_delivered_});
   }
-  return out;
+  return profile;
 }
 
 // --- engine -----------------------------------------------------------------
@@ -181,12 +166,18 @@ void ShardedSimulator::route(ShardChannel& channel, ShardMsg&& msg) {
 }
 
 bool ShardedSimulator::drain_inbound(Cell& c) {
+  // Batched drain: one cursor round-trip per batch instead of per
+  // message. A partial batch means the ring was empty at the snapshot --
+  // anything pushed since lands next round, same as per-message pops.
+  constexpr std::size_t kBatch = 16;
   bool any = false;
-  ShardMsg msg;
+  ShardMsg buf[kBatch];
   for (ShardChannel* ch : c.inbound_) {
-    while (ch->ring.try_pop(msg)) {
-      c.staging_.push(msg);
+    std::size_t n;
+    while ((n = ch->ring.try_pop_n(buf, kBatch)) != 0) {
+      for (std::size_t i = 0; i < n; ++i) c.staging_.push(buf[i]);
       any = true;
+      if (n < kBatch) break;
     }
   }
   return any;
@@ -231,13 +222,28 @@ bool ShardedSimulator::cell_round(Cell& c, std::int64_t horizon_ns) {
   // sent after its sender published the snapshotted bound, so its
   // delivery time is >= that bound + latency >= the LBTS we compute --
   // it cannot be needed below the window we are about to execute.
+  //
+  // Idle-neighbour fast path: the forever sentinel is absorbing (a done
+  // cell never sends again, its published clock never moves back down),
+  // so once every inbound sender has published it and one more drain has
+  // emptied the rings, no message can ever arrive here again -- the
+  // snapshot and drain become pure cache traffic and are skipped for the
+  // rest of the run.
   std::int64_t lbts = kForeverNs;
-  for (const ShardChannel* ch : c.inbound_) {
-    const std::int64_t pub =
-        cells_[ch->src]->pub_.load(std::memory_order_acquire);
-    lbts = std::min(lbts, sat_add(pub, ch->latency_ns));
+  bool drained = false;
+  if (!c.inbound_quiet_) {
+    bool all_forever = true;
+    for (const ShardChannel* ch : c.inbound_) {
+      const std::int64_t pub =
+          cells_[ch->src]->pub_.load(std::memory_order_acquire);
+      if (pub < kForeverNs) all_forever = false;
+      lbts = std::min(lbts, sat_add(pub, ch->latency_ns));
+    }
+    drained = drain_inbound(c);
+    if (all_forever) c.inbound_quiet_ = true;
+  } else {
+    fast_skips_.fetch_add(1, std::memory_order_relaxed);
   }
-  const bool drained = drain_inbound(c);
   if (c.done_) return drained;
 
   const std::int64_t bound = std::min(lbts, sat_add(horizon_ns, 1));
@@ -254,16 +260,24 @@ bool ShardedSimulator::cell_round(Cell& c, std::int64_t horizon_ns) {
     // from a neighbor: this cell is finished. Publish "never sends again"
     // so downstream LBTS windows open all the way.
     c.done_ = true;
+    c.pub_shadow_ = kForeverNs;
+    ++c.publishes_;
     c.pub_.store(kForeverNs, std::memory_order_release);
     return drained || executed;
   }
 
   // The null message: everything this cell might still send originates
   // from its next local event, its next staged message, or a message yet
-  // to arrive (no earlier than LBTS). Monotone by construction; the store
-  // is skipped when nothing moved to spare the cache line.
+  // to arrive (no earlier than LBTS). Monotone by construction. The store
+  // is coalesced onto frontier advances: pub_shadow_ is the owner
+  // thread's copy of the last published value, so an unchanged frontier
+  // costs no atomic op at all. Receivers then read a possibly stale but
+  // still monotone lower bound -- their LBTS can only be tighter than the
+  // truth, never looser, which is the safe direction.
   const std::int64_t lb = std::min({local_ns, msg_ns, lbts});
-  if (lb > c.pub_.load(std::memory_order_relaxed)) {
+  if (lb > c.pub_shadow_) {
+    c.pub_shadow_ = lb;
+    ++c.publishes_;
     c.pub_.store(lb, std::memory_order_release);
   }
   return drained || executed;
@@ -320,13 +334,27 @@ ShardRunStats ShardedSimulator::run(SimTime horizon, std::size_t shards) {
   shards = std::min(shards, cells_.size());
 
   std::vector<std::uint64_t> weights;
-  weights.reserve(cells_.size());
-  for (const auto& c : cells_) weights.push_back(c->weight_);
-  const std::vector<std::uint32_t> assign = partition(weights, shards);
+  if (measured_weights_.empty()) {
+    weights.reserve(cells_.size());
+    for (const auto& c : cells_) weights.push_back(c->weight_);
+  } else {
+    if (measured_weights_.size() != cells_.size()) {
+      throw PartitionError(PartitionErrorCode::kProfileMismatch,
+                           "run: " + std::to_string(measured_weights_.size()) +
+                               " measured weights for " +
+                               std::to_string(cells_.size()) + " cells");
+    }
+    weights = measured_weights_;
+  }
+  static const PrefixQuotaPartitioner kDefaultPartitioner;
+  const Partitioner& strategy =
+      partitioner_ != nullptr ? *partitioner_ : kDefaultPartitioner;
+  partition_map_ = strategy.assign(weights, shards);
+  validate_assignment(partition_map_, cells_.size(), shards);
 
   std::vector<std::vector<Cell*>> groups(shards);
   for (std::size_t i = 0; i < cells_.size(); ++i) {
-    groups[assign[i]].push_back(cells_[i].get());
+    groups[partition_map_[i]].push_back(cells_[i].get());
   }
 
   const std::int64_t horizon_ns = horizon.nanos();
@@ -367,9 +395,11 @@ ShardRunStats ShardedSimulator::run(SimTime horizon, std::size_t shards) {
     stats.msgs_delivered += c->msgs_delivered_;
     stats.msgs_sent += c->msgs_sent_;
     stats.beyond_horizon += c->beyond_horizon_;
+    stats.clock_publishes += c->publishes_;
   }
   stats.rounds = rounds_.load(std::memory_order_relaxed);
   stats.push_spins = push_spins_.load(std::memory_order_relaxed);
+  stats.fast_skips = fast_skips_.load(std::memory_order_relaxed);
   stats.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
   return stats;

@@ -40,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/partitioner.hpp"
 #include "sim/shard_channel.hpp"
 #include "sim/simulator.hpp"
 
@@ -84,8 +85,8 @@ struct FireRecord {
 
 /// Aggregate outcome of one run. Only `events`, `msgs_delivered`,
 /// `msgs_sent` and `beyond_horizon` are deterministic; `rounds`,
-/// `push_spins` and `wall_seconds` depend on thread scheduling and must
-/// never leak into artifacts.
+/// `push_spins`, `fast_skips`, `clock_publishes` and `wall_seconds`
+/// depend on thread scheduling and must never leak into artifacts.
 struct ShardRunStats {
   std::size_t shards = 0;
   std::uint64_t events = 0;          ///< local simulator events executed
@@ -94,6 +95,8 @@ struct ShardRunStats {
   std::uint64_t beyond_horizon = 0;  ///< sent but delivered past horizon
   std::uint64_t rounds = 0;          ///< null-message rounds (timing-dependent)
   std::uint64_t push_spins = 0;      ///< backpressure retries (timing-dependent)
+  std::uint64_t fast_skips = 0;      ///< idle-neighbour rounds skipped (timing-dependent)
+  std::uint64_t clock_publishes = 0; ///< coalesced pub_ stores (timing-dependent)
   double wall_seconds = 0.0;
 };
 
@@ -171,7 +174,16 @@ class ShardedSimulator {
     std::uint64_t msgs_delivered_ = 0;
     std::uint64_t beyond_horizon_ = 0;
     bool done_ = false;
+    /// Set once every inbound sender has published the forever sentinel
+    /// and one final drain has run: the sentinel is absorbing (a done
+    /// cell never sends again), so from then on the snapshot + drain of
+    /// cell_round is pure overhead and gets skipped.
+    bool inbound_quiet_ = false;
     std::vector<FireRecord> fire_log_;
+    /// Owner-thread shadow of pub_, so the publish in cell_round can
+    /// skip the atomic store when the frontier did not advance.
+    std::int64_t pub_shadow_ = 0;
+    std::uint64_t publishes_ = 0;  ///< pub_ stores (timing-dependent)
     /// Published lower bound on this cell's future send times (the null
     /// message). Receivers add their channel latency to form LBTS.
     alignas(64) std::atomic<std::int64_t> pub_{0};
@@ -198,6 +210,36 @@ class ShardedSimulator {
   /// Records per-cell (time, kind, src, seq) fire logs for equivalence
   /// tests. Off by default (memory).
   void set_record_fire_log(bool on) { record_fire_log_ = on; }
+
+  /// Plugs a placement strategy into run() (non-owning; must outlive the
+  /// run). Default is the built-in prefix-quota walk over declared
+  /// weights. Placement never changes simulation results -- only which
+  /// thread executes which cell -- so any strategy keeps artifacts
+  /// byte-identical; run() validates the returned assignment before
+  /// trusting it with worker threads.
+  void set_partitioner(const Partitioner* partitioner) {
+    partitioner_ = partitioner;
+  }
+
+  /// Overrides the declared per-cell weights with measured rates (e.g.
+  /// a RateProfile from a calibration run) for partitioning only. Must
+  /// have one entry per cell; run() throws PartitionError
+  /// {kProfileMismatch} otherwise.
+  void set_measured_weights(std::vector<std::uint64_t> weights) {
+    measured_weights_ = std::move(weights);
+  }
+
+  /// The cell -> shard assignment of the completed run() (empty before
+  /// run and after run_reference).
+  [[nodiscard]] const std::vector<std::uint32_t>& partition_map() const {
+    return partition_map_;
+  }
+
+  /// Measured per-cell load of a completed run -- events executed and
+  /// messages delivered per cell, in cell-id order. Deterministic (both
+  /// counters are part of the determinism contract), so it is safe to
+  /// export and feed back as `--profile-in`.
+  [[nodiscard]] RateProfile rate_profile() const;
 
   /// Runs every cell to `horizon` (inclusive) on `shards` worker threads
   /// (shards == 1 runs inline on the caller, spawning nothing). Cells are
@@ -246,11 +288,15 @@ class ShardedSimulator {
   bool record_fire_log_ = false;
   bool ran_ = false;
   bool reference_mode_ = false;
+  const Partitioner* partitioner_ = nullptr;
+  std::vector<std::uint64_t> measured_weights_;
+  std::vector<std::uint32_t> partition_map_;
 
   std::atomic<bool> done_flag_{false};
   std::atomic<std::size_t> done_shards_{0};
   std::atomic<std::uint64_t> push_spins_{0};
   std::atomic<std::uint64_t> rounds_{0};
+  std::atomic<std::uint64_t> fast_skips_{0};
   /// First worker exception (what()), surfaced after the join.
   std::atomic<bool> failed_{false};
   std::string failure_;

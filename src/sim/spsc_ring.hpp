@@ -14,6 +14,7 @@
 // retries), never as loss.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -65,6 +66,27 @@ class SpscRing {
     out = std::move(buf_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Batched consumer side: moves up to `max` elements into `out` and
+  /// returns the count (0 when empty). One acquire load of the producer
+  /// cursor and one release store of the consumer cursor cover the whole
+  /// batch -- the amortization the sharded kernel's drain loop relies on,
+  /// where per-message try_pop pays a cross-core cursor round-trip each.
+  /// A partial batch (count < max) means the ring was empty at the
+  /// snapshot; elements pushed during the batch surface on the next call,
+  /// exactly as they would across two try_pop calls.
+  std::size_t try_pop_n(T* out, std::size_t max) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t avail =
+        tail_.load(std::memory_order_acquire) - head;
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(avail, max));
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::move(buf_[(head + i) & mask_]);
+    }
+    if (n != 0) head_.store(head + n, std::memory_order_release);
+    return n;
   }
 
   /// Racy size estimate -- exact only when both sides are quiescent

@@ -101,6 +101,93 @@ TEST(Campus, SeedChangesArtifactsUnderFaults) {
   EXPECT_NE(a.fingerprint(), b.fingerprint());
 }
 
+TEST(Campus, SkewedCampusByteIdenticalAcrossPartitionerAndShards) {
+  // The headline determinism bar of the balancing work: the deliberately
+  // skewed campus (hot first quarter) produces byte-identical artifacts
+  // at any shard count AND under either placement strategy. Calibration
+  // comes from a golden 1-shard run, exactly the --profile-out workflow.
+  CampusOptions golden_opt = small_campus(1);
+  golden_opt.skew = true;
+  const CampusResult golden = run_campus(golden_opt);
+  const std::string csv = golden.to_csv();
+  const std::string prom = golden.to_prometheus();
+  ASSERT_FALSE(csv.empty());
+  const std::vector<std::uint64_t> measured = golden.profile.weights();
+  ASSERT_EQ(measured.size(), golden_opt.cells);
+
+  for (const std::size_t shards : {2, 4, 8}) {
+    for (const bool use_measured : {false, true}) {
+      CampusOptions opt = small_campus(shards);
+      opt.skew = true;
+      if (use_measured) {
+        opt.partitioner = CampusPartitioner::kMeasuredRate;
+        opt.measured_weights = measured;
+      }
+      const CampusResult r = run_campus(opt);
+      EXPECT_EQ(r.to_csv(), csv)
+          << "shards=" << shards << " measured=" << use_measured;
+      EXPECT_EQ(r.to_prometheus(), prom)
+          << "shards=" << shards << " measured=" << use_measured;
+      EXPECT_EQ(r.fingerprint(), golden.fingerprint())
+          << "shards=" << shards << " measured=" << use_measured;
+      // The measured profile of every rerun matches the calibration run.
+      EXPECT_EQ(r.profile.to_text(), golden.profile.to_text())
+          << "shards=" << shards << " measured=" << use_measured;
+    }
+  }
+}
+
+TEST(Campus, MeasuredPartitionerReducesImbalanceOnSkew) {
+  CampusOptions calib = small_campus(1);
+  calib.skew = true;
+  const CampusResult golden = run_campus(calib);
+
+  CampusOptions prefix_opt = small_campus(4);
+  prefix_opt.skew = true;
+  const CampusResult prefix = run_campus(prefix_opt);
+
+  CampusOptions measured_opt = prefix_opt;
+  measured_opt.partitioner = CampusPartitioner::kMeasuredRate;
+  measured_opt.measured_weights = golden.profile.weights();
+  const CampusResult measured = run_campus(measured_opt);
+
+  // The hot quarter piles onto the first shards under the contiguous
+  // prefix walk; LPT over measured rates spreads it.
+  EXPECT_LT(measured.imbalance_permille, prefix.imbalance_permille);
+  EXPECT_EQ(measured.shard_events.size(), 4u);
+  EXPECT_EQ(prefix.shard_events.size(), 4u);
+  EXPECT_EQ(std::accumulate(measured.shard_events.begin(),
+                            measured.shard_events.end(), std::uint64_t{0}),
+            std::accumulate(prefix.shard_events.begin(),
+                            prefix.shard_events.end(), std::uint64_t{0}));
+}
+
+TEST(Campus, SkewActuallySkewsTheLoad) {
+  // Hot cells run a 4x faster cycle, so their measured rate dominates.
+  CampusOptions opt = small_campus(2);
+  opt.skew = true;
+  const CampusResult r = run_campus(opt);
+  ASSERT_EQ(r.profile.cells.size(), 10u);
+  const std::uint64_t hot = r.profile.cells[0].events;
+  const std::uint64_t cold = r.profile.cells[9].events;
+  EXPECT_GT(hot, 2 * cold);
+  // Without skew the same cells are near-uniform.
+  const CampusResult flat = run_campus(small_campus(2));
+  EXPECT_LT(flat.profile.cells[0].events,
+            2 * flat.profile.cells[9].events);
+}
+
+TEST(Campus, MeasuredPartitionerWithoutWeightsIsTyped) {
+  CampusOptions opt = small_campus(2);
+  opt.partitioner = CampusPartitioner::kMeasuredRate;
+  try {
+    (void)run_campus(opt);
+    FAIL() << "expected PartitionError";
+  } catch (const sim::PartitionError& e) {
+    EXPECT_EQ(e.code(), sim::PartitionErrorCode::kProfileMismatch);
+  }
+}
+
 TEST(Campus, SingleCellCampusIsDegenerateButValid) {
   CampusOptions opt = small_campus(4);
   opt.cells = 1;  // no backbone, no reports -- just one PROFINET island

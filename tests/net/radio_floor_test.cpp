@@ -63,6 +63,51 @@ TEST(RadioFloor, ShardCountNeverChangesTheBytes) {
   EXPECT_GT(roam->radio_dropped_handoff, 0u);
 }
 
+TEST(RadioFloor, MeasuredPartitionKeepsArtifactsByteIdentical) {
+  // The calibration round-trip on the naturally skewed SNR ladder: dead
+  // rungs execute far fewer events than healthy ones, so the measured
+  // profile genuinely reshuffles placement -- and nothing in the
+  // artifacts may move. Short horizon: placement invariance doesn't need
+  // the full 3s run.
+  RadioFloorOptions calib;
+  calib.horizon = sim::milliseconds(300);
+  calib.shards = 1;
+  const RadioFloorResult golden = run_radio_floor(calib);
+  ASSERT_FALSE(golden.profile.cells.empty());
+
+  RadioFloorOptions opt = calib;
+  opt.shards = 8;
+  opt.measured_partition = true;
+  opt.measured_weights = golden.profile.weights();
+  const RadioFloorResult measured = run_radio_floor(opt);
+  EXPECT_EQ(measured.cells, golden.cells);
+  EXPECT_EQ(measured.fingerprint(), golden.fingerprint());
+  EXPECT_EQ(measured.to_csv(), golden.to_csv());
+  EXPECT_EQ(measured.to_prometheus(), golden.to_prometheus());
+  EXPECT_EQ(measured.profile.to_text(), golden.profile.to_text());
+
+  // The placement itself differs from the prefix walk (the profile has
+  // signal), and the diagnostics report a valid partition.
+  RadioFloorOptions prefix_opt = calib;
+  prefix_opt.shards = 8;
+  const RadioFloorResult prefix = run_radio_floor(prefix_opt);
+  EXPECT_EQ(prefix.fingerprint(), golden.fingerprint());
+  EXPECT_NE(measured.partition, prefix.partition);
+  EXPECT_LE(measured.imbalance_permille, prefix.imbalance_permille);
+}
+
+TEST(RadioFloor, MeasuredPartitionWithoutWeightsIsTyped) {
+  RadioFloorOptions opt;
+  opt.horizon = sim::milliseconds(100);
+  opt.measured_partition = true;
+  try {
+    (void)run_radio_floor(opt);
+    FAIL() << "expected PartitionError";
+  } catch (const sim::PartitionError& e) {
+    EXPECT_EQ(e.code(), sim::PartitionErrorCode::kProfileMismatch);
+  }
+}
+
 TEST(RadioFloor, SeedSelectsTheFloor) {
   RadioFloorOptions opt;
   opt.shards = 4;
